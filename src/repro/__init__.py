@@ -1,0 +1,53 @@
+"""repro — a reproduction of "gSketch: On Query Estimation in Graph Streams".
+
+The library provides:
+
+* :class:`~repro.core.gsketch.GSketch` — the partitioned graph-stream sketch
+  (the paper's contribution), built from a data sample and optionally a query
+  workload sample;
+* :class:`~repro.core.global_sketch.GlobalSketch` — the single-sketch baseline;
+* the stream-synopsis substrates in :mod:`repro.sketches`;
+* the graph-stream model, sampling and statistics in :mod:`repro.graph`;
+* query objects and accuracy metrics in :mod:`repro.queries`;
+* synthetic dataset generators in :mod:`repro.datasets`;
+* the experiment harness regenerating every paper figure in
+  :mod:`repro.experiments`.
+
+Quickstart::
+
+    from repro import GSketch, GSketchConfig, GlobalSketch
+    from repro.datasets import load_dataset
+    from repro.graph import reservoir_sample
+
+    stream = load_dataset("dblp-tiny").stream
+    sample = reservoir_sample(stream, 2_000, seed=1)
+    config = GSketchConfig.from_memory_bytes(64_000)
+    gsketch = GSketch.build(sample, config)
+    gsketch.process(stream)
+    estimate = gsketch.query_edge(next(iter(stream.distinct_edges())))
+"""
+
+from repro.core.config import GSketchConfig
+from repro.core.global_sketch import GlobalSketch
+from repro.core.gsketch import GSketch
+from repro.core.windowed import WindowedGSketch
+from repro.graph.edge import StreamEdge
+from repro.graph.stream import GraphStream
+from repro.queries.edge_query import EdgeQuery
+from repro.queries.subgraph_query import SubgraphQuery
+from repro.sketches.countmin import CountMinSketch
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "CountMinSketch",
+    "EdgeQuery",
+    "GSketch",
+    "GSketchConfig",
+    "GlobalSketch",
+    "GraphStream",
+    "StreamEdge",
+    "SubgraphQuery",
+    "WindowedGSketch",
+    "__version__",
+]

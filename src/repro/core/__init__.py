@@ -1,0 +1,35 @@
+"""gSketch core: error model, sketch partitioning, routing and query estimation."""
+
+from repro.core.config import GSketchConfig
+from repro.core.errors import (
+    partition_error_data_only,
+    partition_error_with_workload,
+    split_objective_data_only,
+    split_objective_with_workload,
+)
+from repro.core.estimator import ConfidenceInterval, countmin_confidence
+from repro.core.global_sketch import GlobalSketch
+from repro.core.gsketch import GSketch
+from repro.core.partition_tree import PartitionLeaf, PartitionNode, PartitionTree
+from repro.core.partitioner import build_partition_tree
+from repro.core.router import OUTLIER_PARTITION, VertexRouter
+from repro.core.windowed import WindowedGSketch
+
+__all__ = [
+    "ConfidenceInterval",
+    "GSketch",
+    "GSketchConfig",
+    "GlobalSketch",
+    "OUTLIER_PARTITION",
+    "PartitionLeaf",
+    "PartitionNode",
+    "PartitionTree",
+    "VertexRouter",
+    "WindowedGSketch",
+    "build_partition_tree",
+    "countmin_confidence",
+    "partition_error_data_only",
+    "partition_error_with_workload",
+    "split_objective_data_only",
+    "split_objective_with_workload",
+]

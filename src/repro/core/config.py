@@ -1,0 +1,146 @@
+"""gSketch configuration.
+
+The configuration mirrors the knobs exposed by the paper:
+
+* total space (expressed either as a cell budget or a byte budget, matching
+  the paper's memory-size axis);
+* Count-Min depth ``d`` (the number of rows, shared by every partition so all
+  partitions keep the same ``1 - e^-d`` guarantee — Section 4.1);
+* the partitioning-termination constants ``w0`` (minimum width) and ``C``
+  (Theorem 1 collision bound);
+* the fraction of space reserved for the outlier sketch (Section 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.utils.validation import (
+    require_in_range,
+    require_positive_int,
+    require_probability,
+)
+
+#: Assumed bytes per Count-Min counter cell, matching the 4-byte counters the
+#: paper's memory axis (512 KB ... 2 GB) refers to.
+DEFAULT_CELL_BYTES = 4
+
+
+@dataclass(frozen=True)
+class GSketchConfig:
+    """Configuration of a gSketch (and of the Global Sketch baseline).
+
+    Attributes:
+        total_cells: total number of counter cells available across all
+            partitions, the outlier sketch included.
+        depth: Count-Min depth ``d`` used by every partition.
+        min_partition_width: the termination threshold ``w0``: nodes narrower
+            than this are not split further.
+        max_partitions: upper bound on the number of localized sketches.  The
+            paper treats ``w0`` as an absolute constant because its sketch
+            widths are in the tens of thousands of cells; at reproduction
+            scale a constant floor would create hundreds of tiny, poorly
+            balanced partitions, so the effective width floor is
+            ``max(min_partition_width, partitioned_width / max_partitions)``.
+        collision_constant: the constant ``C`` of Theorem 1 (0 < C < 1): a
+            node whose sampled distinct-edge count is at most ``C * width``
+            becomes a leaf immediately.
+        width_allocation: how leaf widths are assigned once the partitioning
+            tree has fixed the vertex groups.  ``"rebalanced"`` (default) sets
+            each leaf's width to the continuous minimizer of the paper's
+            error objective (``w_i ∝ sqrt(F_i * G_i)``, capped at the leaf's
+            Theorem-1 edge capacity); ``"halving"`` keeps the raw widths of
+            the recursive halving plus the Section 4.1 shrink-and-redistribute
+            rule.  The ablation benchmark compares both.
+        outlier_fraction: fraction of ``total_cells`` reserved for the outlier
+            sketch that serves vertices absent from the data sample.
+        conservative_updates: whether partitions use conservative Count-Min
+            updates (off by default; the paper uses plain Count-Min).
+        seed: seed for the hash families of all constructed sketches.
+    """
+
+    total_cells: int
+    depth: int = 5
+    min_partition_width: int = 32
+    max_partitions: int = 32
+    collision_constant: float = 0.5
+    width_allocation: str = "rebalanced"
+    outlier_fraction: float = 0.10
+    conservative_updates: bool = False
+    seed: int = 7
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.total_cells, "total_cells")
+        require_positive_int(self.depth, "depth")
+        require_positive_int(self.min_partition_width, "min_partition_width")
+        require_positive_int(self.max_partitions, "max_partitions")
+        require_probability(self.collision_constant, "collision_constant")
+        if self.width_allocation not in ("rebalanced", "halving"):
+            raise ValueError(
+                "width_allocation must be 'rebalanced' or 'halving', "
+                f"got {self.width_allocation!r}"
+            )
+        require_in_range(self.outlier_fraction, "outlier_fraction", 0.0, 0.9)
+        if self.total_cells < self.depth:
+            raise ValueError(
+                "total_cells must be at least `depth` so every row has one cell"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Derived sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def total_width(self) -> int:
+        """Total width budget (cells per row) across all partitions."""
+        return max(1, self.total_cells // self.depth)
+
+    @property
+    def outlier_width(self) -> int:
+        """Width reserved for the outlier sketch."""
+        if self.outlier_fraction <= 0.0:
+            return 0
+        return max(1, int(self.total_width * self.outlier_fraction))
+
+    @property
+    def partitioned_width(self) -> int:
+        """Width available to the partitioned (non-outlier) sketches."""
+        return max(1, self.total_width - self.outlier_width)
+
+    @property
+    def effective_width_floor(self) -> int:
+        """The ``w0`` actually used by the partitioner.
+
+        Scales with the budget so that at most roughly ``max_partitions``
+        leaves are produced, but never drops below ``min_partition_width``.
+        """
+        return max(self.min_partition_width, self.partitioned_width // self.max_partitions)
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_memory_bytes(
+        cls,
+        memory_bytes: int,
+        depth: int = 5,
+        cell_bytes: int = DEFAULT_CELL_BYTES,
+        **kwargs: object,
+    ) -> "GSketchConfig":
+        """Build a configuration from a byte budget, as on the paper's x-axes."""
+        require_positive_int(memory_bytes, "memory_bytes")
+        require_positive_int(cell_bytes, "cell_bytes")
+        total_cells = max(depth, memory_bytes // cell_bytes)
+        return cls(total_cells=total_cells, depth=depth, **kwargs)  # type: ignore[arg-type]
+
+    def memory_bytes(self, cell_bytes: int = DEFAULT_CELL_BYTES) -> int:
+        """The byte budget this configuration corresponds to."""
+        return self.total_cells * cell_bytes
+
+    def with_seed(self, seed: int) -> "GSketchConfig":
+        """A copy of this configuration with a different seed."""
+        return replace(self, seed=seed)
+
+    def without_outlier(self) -> "GSketchConfig":
+        """A copy with no outlier reservation (used by the Global Sketch baseline)."""
+        return replace(self, outlier_fraction=0.0)

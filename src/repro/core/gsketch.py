@@ -1,0 +1,311 @@
+"""gSketch: the partitioned graph-stream sketch (Sections 4 and 5).
+
+Construction is a two-phase process:
+
+1. **Offline partitioning** on a data sample (and optionally a query workload
+   sample): :func:`~repro.core.partitioner.build_partition_tree` groups source
+   vertices with similar average edge frequency into localized sketches and
+   allocates the width budget among them; a fixed fraction of the space is
+   reserved for the **outlier sketch** serving vertices absent from the
+   sample.
+2. **Online maintenance**: each incoming edge is routed by its source vertex
+   through the hash structure ``H`` to its localized sketch and counted there;
+   queries are routed the same way, so each query's error depends only on the
+   frequency mass inside its own partition.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GSketchConfig
+from repro.core.estimator import ConfidenceInterval, countmin_confidence
+from repro.core.partition_tree import PartitionTree
+from repro.core.partitioner import build_partition_tree, workload_vertex_weights
+from repro.core.router import OUTLIER_PARTITION, VertexRouter
+from repro.graph.edge import EdgeKey, StreamEdge, edge_key
+from repro.graph.statistics import VertexStatistics
+from repro.graph.stream import GraphStream
+from repro.queries.subgraph_query import SubgraphQuery
+from repro.queries.workload import QueryWorkload
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hashing import key_to_uint64
+
+
+@dataclass(frozen=True)
+class PartitionSummary:
+    """Size and load summary of one partition (used by reports and Table 1)."""
+
+    index: int
+    vertex_count: int
+    width: int
+    depth: int
+    total_frequency: float
+    leaf_reason: str
+
+
+class GSketch:
+    """The partitioned graph-stream sketch.
+
+    Instances are normally created through :meth:`build` (data sample only,
+    Figure 2) or :meth:`build_with_workload` (data + workload samples,
+    Figure 3) rather than the constructor.
+    """
+
+    def __init__(
+        self,
+        config: GSketchConfig,
+        tree: PartitionTree,
+        router: VertexRouter,
+        stats: VertexStatistics,
+        workload_weights: Optional[Mapping[Hashable, float]] = None,
+    ) -> None:
+        self.config = config
+        self.tree = tree
+        self.router = router
+        self.stats = stats
+        self.workload_weights = dict(workload_weights) if workload_weights else None
+
+        self._partitions: List[CountMinSketch] = [
+            CountMinSketch(
+                width=leaf.width,
+                depth=config.depth,
+                seed=config.seed + leaf.index + 1,
+                conservative=config.conservative_updates,
+            )
+            for leaf in tree.leaves
+        ]
+        outlier_width = max(1, config.outlier_width + tree.surplus_width)
+        self._outlier = CountMinSketch(
+            width=outlier_width,
+            depth=config.depth,
+            seed=config.seed,
+            conservative=config.conservative_updates,
+        )
+        self._elements_processed = 0
+        self._outlier_elements = 0
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _sample_statistics(
+        sample: GraphStream, stream_size_hint: Optional[int]
+    ) -> VertexStatistics:
+        """Vertex statistics from the sample, extrapolated to stream scale.
+
+        The split objectives are scale-invariant, but the Theorem-1
+        termination criterion compares ``sum_m d̃(m)`` with absolute sketch
+        widths, so the sample counts are scaled by the expected
+        stream-to-sample size ratio when the caller can provide one.
+        """
+        stats = VertexStatistics.from_stream(sample)
+        if stream_size_hint is not None and len(sample) > 0 and stream_size_hint > len(sample):
+            sample_fraction = len(sample) / stream_size_hint
+            stats = stats.extrapolated(sample_fraction)
+        return stats
+
+    @classmethod
+    def build(
+        cls,
+        sample: GraphStream,
+        config: GSketchConfig,
+        stream_size_hint: Optional[int] = None,
+    ) -> "GSketch":
+        """Partition with a data sample only (Figure 2).
+
+        Args:
+            sample: the graph-stream data sample.
+            config: space budget and termination constants.
+            stream_size_hint: expected number of stream elements the sketch
+                will absorb; used to extrapolate the sample statistics for the
+                Theorem-1 termination criterion.  ``None`` keeps the raw
+                sample counts.
+        """
+        stats = cls._sample_statistics(sample, stream_size_hint)
+        tree = build_partition_tree(stats, config, workload_weights=None)
+        router = VertexRouter(tree.vertex_partition_map(), num_partitions=len(tree.leaves))
+        return cls(config=config, tree=tree, router=router, stats=stats)
+
+    @classmethod
+    def build_with_workload(
+        cls,
+        sample: GraphStream,
+        workload: QueryWorkload | GraphStream,
+        config: GSketchConfig,
+        smoothing_alpha: float = 1.0,
+        stream_size_hint: Optional[int] = None,
+    ) -> "GSketch":
+        """Partition with a data sample and a query workload sample (Figure 3).
+
+        Args:
+            sample: the graph-stream data sample.
+            workload: either a :class:`~repro.queries.workload.QueryWorkload`
+                or a :class:`~repro.graph.stream.GraphStream` whose elements
+                are the workload-sample edges.
+            config: space budget and termination constants.
+            smoothing_alpha: Laplace pseudo-count for the vertex weights
+                ``w̃(n)`` (Section 6.4).
+            stream_size_hint: expected number of stream elements, used to
+                extrapolate the sample statistics (see :meth:`build`).
+        """
+        stats = cls._sample_statistics(sample, stream_size_hint)
+        if isinstance(workload, QueryWorkload):
+            source_counts = workload.source_vertex_counts()
+        else:
+            source_counts = {
+                vertex: float(freq) for vertex, freq in workload.vertex_frequencies().items()
+            }
+        weights = workload_vertex_weights(stats, source_counts, smoothing_alpha)
+        tree = build_partition_tree(stats, config, workload_weights=weights)
+        router = VertexRouter(tree.vertex_partition_map(), num_partitions=len(tree.leaves))
+        return cls(config=config, tree=tree, router=router, stats=stats, workload_weights=weights)
+
+    # ------------------------------------------------------------------ #
+    # Stream maintenance
+    # ------------------------------------------------------------------ #
+    def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
+        """Route one stream element to its localized (or outlier) sketch."""
+        partition = self.router.partition_of(source)
+        sketch = self._sketch_for(partition)
+        sketch.update(edge_key(source, target), frequency)
+        self._elements_processed += 1
+        if partition == OUTLIER_PARTITION:
+            self._outlier_elements += 1
+
+    def update_edge(self, edge: StreamEdge) -> None:
+        """Record one :class:`~repro.graph.edge.StreamEdge`."""
+        self.update(edge.source, edge.target, edge.frequency)
+
+    def process(self, stream: GraphStream | Iterable[StreamEdge]) -> int:
+        """Ingest an entire stream using per-partition batched updates.
+
+        Semantically identical to calling :meth:`update` per element, but
+        hashing and counter increments are vectorized per partition.
+        Returns the number of elements processed.
+        """
+        grouped_keys: Dict[int, List[int]] = {}
+        grouped_counts: Dict[int, List[float]] = {}
+        processed = 0
+        for element in stream:
+            partition = self.router.partition_of(element.source)
+            grouped_keys.setdefault(partition, []).append(
+                key_to_uint64((element.source, element.target))
+            )
+            grouped_counts.setdefault(partition, []).append(element.frequency)
+            processed += 1
+            if partition == OUTLIER_PARTITION:
+                self._outlier_elements += 1
+        for partition, keys in grouped_keys.items():
+            sketch = self._sketch_for(partition)
+            sketch.update_batch(np.array(keys, dtype=np.uint64), grouped_counts[partition])
+        self._elements_processed += processed
+        return processed
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query_edge(self, edge: EdgeKey) -> float:
+        """Estimate the aggregate frequency of a directed edge (Section 5)."""
+        source, _target = edge
+        sketch = self._sketch_for(self.router.partition_of(source))
+        return sketch.estimate(tuple(edge))
+
+    def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """Estimate many edges at once."""
+        return [self.query_edge(edge) for edge in edges]
+
+    def query_subgraph(self, query: SubgraphQuery) -> float:
+        """Estimate an aggregate subgraph query by per-edge decomposition."""
+        return query.combine([self.query_edge(edge) for edge in query.edges])
+
+    def confidence(self, edge: EdgeKey) -> ConfidenceInterval:
+        """Per-partition Equation-1 confidence interval for an edge estimate.
+
+        Different queries get different intervals depending on the partition
+        that answers them (Section 5).
+        """
+        source, _target = edge
+        sketch = self._sketch_for(self.router.partition_of(source))
+        return countmin_confidence(sketch, sketch.estimate(tuple(edge)))
+
+    def is_outlier_query(self, edge: EdgeKey) -> bool:
+        """Whether the edge query would be answered by the outlier sketch."""
+        return self.router.is_outlier(edge[0])
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def _sketch_for(self, partition: int) -> CountMinSketch:
+        if partition == OUTLIER_PARTITION:
+            return self._outlier
+        return self._partitions[partition]
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of localized (non-outlier) partitions."""
+        return len(self._partitions)
+
+    @property
+    def outlier_sketch(self) -> CountMinSketch:
+        """The sketch serving vertices absent from the data sample."""
+        return self._outlier
+
+    @property
+    def partitions(self) -> Sequence[CountMinSketch]:
+        """The localized sketches, in leaf-index order."""
+        return tuple(self._partitions)
+
+    @property
+    def elements_processed(self) -> int:
+        """Number of stream elements ingested so far."""
+        return self._elements_processed
+
+    @property
+    def outlier_elements(self) -> int:
+        """Number of ingested elements routed to the outlier sketch."""
+        return self._outlier_elements
+
+    @property
+    def total_frequency(self) -> float:
+        """Total ingested frequency mass across all partitions."""
+        return sum(s.total_count for s in self._partitions) + self._outlier.total_count
+
+    @property
+    def memory_cells(self) -> int:
+        """Allocated counter cells across all partitions and the outlier sketch."""
+        return sum(s.memory_cells for s in self._partitions) + self._outlier.memory_cells
+
+    def partition_summaries(self) -> List[PartitionSummary]:
+        """Per-partition summaries (the outlier sketch is index -1)."""
+        summaries = [
+            PartitionSummary(
+                index=leaf.index,
+                vertex_count=len(leaf.vertices),
+                width=sketch.width,
+                depth=sketch.depth,
+                total_frequency=sketch.total_count,
+                leaf_reason=leaf.leaf_reason,
+            )
+            for leaf, sketch in zip(self.tree.leaves, self._partitions)
+        ]
+        summaries.append(
+            PartitionSummary(
+                index=OUTLIER_PARTITION,
+                vertex_count=0,
+                width=self._outlier.width,
+                depth=self._outlier.depth,
+                total_frequency=self._outlier.total_count,
+                leaf_reason="outlier",
+            )
+        )
+        return summaries
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"GSketch(partitions={self.num_partitions}, cells={self.memory_cells}, "
+            f"N={self.total_frequency:.0f})"
+        )

@@ -1,0 +1,123 @@
+"""The partitioning tree produced by the sketch-partitioning algorithms.
+
+Internal nodes record how the vertex population was recursively split; only
+leaves are materialized as physical Count-Min sketches (Section 4.1: "the
+sketches are physically constructed only at the leaves of the tree").  The
+tree itself is kept for inspection, ablation experiments and tests; query-time
+routing uses the flat :class:`~repro.core.router.VertexRouter` instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterator, List, Optional, Tuple
+
+
+@dataclass
+class PartitionNode:
+    """A node of the partitioning tree.
+
+    Attributes:
+        vertices: the source vertices associated with this node.
+        width: the Count-Min width allocated to this node.
+        depth_in_tree: distance from the root (root = 0).
+        left, right: children (``None`` for leaves).
+        leaf_reason: why partitioning stopped here (leaves only): one of
+            ``"width_floor"`` (criterion 1, width < w0 after a split),
+            ``"collision_bound"`` (criterion 2, Theorem 1) or
+            ``"too_few_vertices"`` (fewer than two vertices to split).
+    """
+
+    vertices: Tuple[Hashable, ...]
+    width: int
+    depth_in_tree: int = 0
+    left: Optional["PartitionNode"] = None
+    right: Optional["PartitionNode"] = None
+    leaf_reason: Optional[str] = None
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None and self.right is None
+
+    def __len__(self) -> int:
+        return len(self.vertices)
+
+
+@dataclass(frozen=True)
+class PartitionLeaf:
+    """A materializable leaf: a vertex group plus its final width allocation.
+
+    Attributes:
+        index: position of this leaf in the router's partition list.
+        vertices: the source vertices routed to this leaf.
+        width: final Count-Min width (after any Theorem-1 shrinking and
+            redistribution of saved space).
+        nominal_width: the width the recursive halving assigned before
+            shrinking, kept for the ablation benchmarks.
+        leaf_reason: why the partitioner stopped here.
+    """
+
+    index: int
+    vertices: Tuple[Hashable, ...]
+    width: int
+    nominal_width: int
+    leaf_reason: str
+
+
+@dataclass
+class PartitionTree:
+    """The full partitioning tree plus its flattened leaves.
+
+    Attributes:
+        root: root node of the recursive partitioning.
+        leaves: materializable leaves in leaf-index order.
+        surplus_width: width saved by criterion-2 shrinking that could not be
+            redistributed to any other partition (all leaves were shrunk); the
+            sketch hands it to the outlier partition so the configured budget
+            is never wasted.
+    """
+
+    root: PartitionNode
+    leaves: List[PartitionLeaf] = field(default_factory=list)
+    surplus_width: int = 0
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    def iter_nodes(self) -> Iterator[PartitionNode]:
+        """Pre-order traversal over all nodes."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            if node.right is not None:
+                stack.append(node.right)
+            if node.left is not None:
+                stack.append(node.left)
+
+    def leaf_widths(self) -> List[int]:
+        """Final widths of all leaves, in leaf-index order."""
+        return [leaf.width for leaf in self.leaves]
+
+    def height(self) -> int:
+        """Height of the tree (root-only tree has height 0)."""
+
+        def _height(node: PartitionNode) -> int:
+            if node.is_leaf:
+                return 0
+            children = [c for c in (node.left, node.right) if c is not None]
+            return 1 + max(_height(child) for child in children)
+
+        return _height(self.root)
+
+    def total_leaf_width(self) -> int:
+        """Sum of the final leaf widths."""
+        return sum(leaf.width for leaf in self.leaves)
+
+    def vertex_partition_map(self) -> dict:
+        """Map every vertex to its leaf index (the raw material of the router)."""
+        mapping = {}
+        for leaf in self.leaves:
+            for vertex in leaf.vertices:
+                mapping[vertex] = leaf.index
+        return mapping

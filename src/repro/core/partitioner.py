@@ -1,0 +1,342 @@
+"""Sketch-partitioning algorithms (paper Figures 2 and 3).
+
+Both scenarios share the same recursive structure: starting from a virtual
+global sketch of width ``partitioned_width``, a node is split into two
+children of half the width by choosing the pivot that minimizes the split
+objective ``E'`` over vertices sorted by average edge frequency (data-only,
+Equation 9) or by ``f̃_v / w̃`` (workload-aware, Equation 11).  A child stops
+being split — and is materialized as a physical localized sketch — when either
+
+1. its width would fall below the floor ``w0`` (criterion 1), or
+2. its sampled distinct-edge count ``sum_m d̃(m)`` is at most ``C * width``
+   (criterion 2, justified by Theorem 1's collision bound).
+
+Leaves terminated by criterion 2 have their width shrunk to ``sum_m d̃(m)``
+("the modest value" of Section 4.1); the saved cells are then redistributed
+proportionally among the remaining leaves so the configured space budget is
+fully used, which is the paper's stated intent for the saved space.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Hashable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import GSketchConfig
+from repro.core.errors import (
+    SplitDecision,
+    split_objective_data_only,
+    split_objective_with_workload,
+)
+from repro.core.partition_tree import PartitionLeaf, PartitionNode, PartitionTree
+from repro.graph.statistics import VertexStatistics
+
+
+def _sampled_edge_count(vertices: Sequence[Hashable], stats: VertexStatistics) -> float:
+    """``sum_m d̃(m)`` over the node's vertices."""
+    return float(sum(stats.degree(v) for v in vertices))
+
+
+def _should_keep_splitting(
+    vertices: Sequence[Hashable],
+    width: int,
+    stats: VertexStatistics,
+    config: GSketchConfig,
+) -> Tuple[bool, Optional[str]]:
+    """Decide whether a node remains active; returns ``(active, leaf_reason)``."""
+    if len(vertices) < 2:
+        return False, "too_few_vertices"
+    if width < config.effective_width_floor:
+        return False, "width_floor"
+    if _sampled_edge_count(vertices, stats) <= config.collision_constant * width:
+        return False, "collision_bound"
+    return True, None
+
+
+def _choose_split(
+    vertices: Sequence[Hashable],
+    stats: VertexStatistics,
+    workload_weights: Optional[Mapping[Hashable, float]],
+) -> SplitDecision:
+    if workload_weights is None:
+        return split_objective_data_only(vertices, stats)
+    return split_objective_with_workload(vertices, stats, workload_weights)
+
+
+def build_partition_tree(
+    stats: VertexStatistics,
+    config: GSketchConfig,
+    workload_weights: Optional[Mapping[Hashable, float]] = None,
+) -> PartitionTree:
+    """Run the sketch-partitioning algorithm of Figure 2 (or Figure 3).
+
+    Args:
+        stats: vertex statistics computed from the data sample.
+        config: space budget and termination constants.
+        workload_weights: smoothed relative vertex weights ``w̃(n)`` derived
+            from the query workload sample; ``None`` selects the data-only
+            objective (Figure 2), a mapping selects the workload-aware
+            objective (Figure 3).
+
+    Returns:
+        The partitioning tree with its materializable leaves.  The sum of the
+        final leaf widths never exceeds ``config.partitioned_width``.
+    """
+    vertices: Tuple[Hashable, ...] = tuple(
+        sorted(stats.vertices(), key=repr)
+    )
+    root_width = config.partitioned_width
+    root = PartitionNode(vertices=vertices, width=root_width, depth_in_tree=0)
+    tree = PartitionTree(root=root)
+
+    if not vertices:
+        # Degenerate case: an empty sample yields a single empty leaf so the
+        # outlier sketch ends up doing all the work.
+        root.leaf_reason = "too_few_vertices"
+        tree.leaves.append(
+            PartitionLeaf(
+                index=0,
+                vertices=(),
+                width=root_width,
+                nominal_width=root_width,
+                leaf_reason="too_few_vertices",
+            )
+        )
+        return tree
+
+    raw_leaves: List[PartitionNode] = []
+    active: List[PartitionNode] = []
+
+    keep_splitting, reason = _should_keep_splitting(vertices, root_width, stats, config)
+    if keep_splitting:
+        active.append(root)
+    else:
+        root.leaf_reason = reason
+        raw_leaves.append(root)
+
+    while active:
+        node = active.pop()
+        decision = _choose_split(node.vertices, stats, workload_weights)
+        child_width = max(1, node.width // 2)
+        left = PartitionNode(
+            vertices=decision.left, width=child_width, depth_in_tree=node.depth_in_tree + 1
+        )
+        right = PartitionNode(
+            vertices=decision.right, width=child_width, depth_in_tree=node.depth_in_tree + 1
+        )
+        node.left, node.right = left, right
+
+        for child in (left, right):
+            keep, leaf_reason = _should_keep_splitting(
+                child.vertices, child.width, stats, config
+            )
+            if keep:
+                active.append(child)
+            else:
+                child.leaf_reason = leaf_reason
+                raw_leaves.append(child)
+
+    if config.width_allocation == "rebalanced":
+        tree.leaves, tree.surplus_width = _materialize_leaves_rebalanced(
+            raw_leaves, stats, config, workload_weights
+        )
+    else:
+        tree.leaves, tree.surplus_width = _materialize_leaves(raw_leaves, stats, config)
+    return tree
+
+
+def _leaf_error_coefficients(
+    vertices: Sequence[Hashable],
+    stats: VertexStatistics,
+    workload_weights: Optional[Mapping[Hashable, float]],
+) -> Tuple[float, float]:
+    """Return ``(F, G)`` such that the leaf's modeled error is ``F * G / width``.
+
+    ``F`` is the leaf's estimated total frequency (Equation 5) and ``G`` the
+    coefficient ``sum_m coeff(m) / (f̃_v(m)/d̃(m))`` from Equation 6 (data-only,
+    ``coeff = d̃``) or Equation 10 (workload-aware, ``coeff = w̃``).
+    """
+    total_frequency = sum(stats.frequency(v) for v in vertices)
+    coefficient_sum = 0.0
+    for vertex in vertices:
+        average = stats.average_edge_frequency(vertex)
+        if average <= 0:
+            continue
+        if workload_weights is None:
+            coefficient = stats.degree(vertex)
+        else:
+            coefficient = workload_weights.get(vertex, 0.0)
+        coefficient_sum += coefficient / average
+    return total_frequency, coefficient_sum
+
+
+def _materialize_leaves_rebalanced(
+    raw_leaves: Sequence[PartitionNode],
+    stats: VertexStatistics,
+    config: GSketchConfig,
+    workload_weights: Optional[Mapping[Hashable, float]],
+) -> Tuple[List[PartitionLeaf], int]:
+    """Allocate the width budget optimally across the tree's leaf groups.
+
+    The partitioning tree decides *which* vertices share a localized sketch;
+    the per-leaf widths are then set to the continuous minimizer of the
+    paper's objective ``sum_i F_i * G_i / w_i`` subject to
+    ``sum_i w_i = partitioned_width``, i.e. ``w_i ∝ sqrt(F_i * G_i)``.  The
+    recursive halving plus the Section 4.1 shrink-and-redistribute rule is a
+    coarse approximation of this optimum; applying the closed form directly
+    keeps lightly-loaded partitions from hoarding cells at reproduction scale
+    (see DESIGN.md).  Leaves whose sampled edge population already fits their
+    optimal width (Theorem 1) are capped at ``sum_m d̃(m)`` exactly as in the
+    paper, and any resulting surplus is re-offered to the remaining leaves.
+    """
+    total_width = sum(node.width for node in raw_leaves)
+    scores = []
+    capacities = []
+    for node in raw_leaves:
+        capacity = max(1, int(math.ceil(_sampled_edge_count(node.vertices, stats))))
+        if workload_weights is None:
+            # Width proportional to the partition's estimated distinct-edge
+            # population equalizes the per-partition collision probability
+            # (the Theorem-1 quantity) and therefore the expected *relative*
+            # error of the queries each partition serves.
+            score = float(capacity)
+        else:
+            # With a workload sample, weight the demand by how often the
+            # partition's vertices are actually queried (Equation 10).
+            frequency, coefficient = _leaf_error_coefficients(
+                node.vertices, stats, workload_weights
+            )
+            score = math.sqrt(max(frequency * coefficient, 0.0))
+        scores.append(score)
+        capacities.append(capacity)
+
+    widths = [1] * len(raw_leaves)
+    remaining_width = total_width
+    active = list(range(len(raw_leaves)))
+    # Iteratively assign sqrt-proportional widths, capping each leaf at its
+    # Theorem-1 capacity (a leaf never benefits from more cells than distinct
+    # edges) and re-offering the excess to the still-uncapped leaves.
+    for _ in range(len(raw_leaves)):
+        score_total = sum(scores[i] for i in active)
+        if remaining_width <= 0 or not active or score_total <= 0:
+            break
+        capped = []
+        assigned_this_round = {}
+        for i in active:
+            share = max(1, int(round(remaining_width * scores[i] / score_total)))
+            if share >= capacities[i]:
+                assigned_this_round[i] = capacities[i]
+                capped.append(i)
+            else:
+                assigned_this_round[i] = share
+        if not capped:
+            for i in active:
+                widths[i] = assigned_this_round[i]
+            remaining_width -= sum(assigned_this_round.values())
+            active = []
+            break
+        for i in capped:
+            widths[i] = capacities[i]
+            remaining_width -= capacities[i]
+            active.remove(i)
+    # Rounding in the proportional shares can overshoot the budget by a few
+    # cells; trim the widest leaves back until the budget is respected.
+    overshoot = sum(widths) - total_width
+    while overshoot > 0:
+        widest = max(range(len(widths)), key=widths.__getitem__)
+        if widths[widest] <= 1:
+            break
+        reduction = min(overshoot, widths[widest] - 1)
+        widths[widest] -= reduction
+        overshoot -= reduction
+    surplus = max(0, total_width - sum(widths))
+
+    leaves = []
+    for index, (node, width) in enumerate(zip(raw_leaves, widths)):
+        leaves.append(
+            PartitionLeaf(
+                index=index,
+                vertices=tuple(node.vertices),
+                width=max(1, width),
+                nominal_width=node.width,
+                leaf_reason=node.leaf_reason or "unknown",
+            )
+        )
+    return leaves, surplus
+
+
+def _materialize_leaves(
+    raw_leaves: Sequence[PartitionNode],
+    stats: VertexStatistics,
+    config: GSketchConfig,
+) -> Tuple[List[PartitionLeaf], int]:
+    """Shrink collision-bound leaves and redistribute the saved width.
+
+    Width accounting: recursive halving means the nominal widths of the raw
+    leaves sum to at most ``partitioned_width``.  Criterion-2 leaves only need
+    ``sum_m d̃(m)`` cells per row (Theorem 1 keeps their collision probability
+    below ``C`` even at that width), so the surplus is handed to the other
+    leaves proportionally to their nominal widths.
+    """
+    shrunk_widths: List[int] = []
+    saved = 0
+    for node in raw_leaves:
+        if node.leaf_reason == "collision_bound":
+            needed = max(1, int(math.ceil(_sampled_edge_count(node.vertices, stats))))
+            final = min(node.width, needed)
+            saved += node.width - final
+        else:
+            final = node.width
+        shrunk_widths.append(final)
+
+    growable = [
+        i for i, node in enumerate(raw_leaves) if node.leaf_reason != "collision_bound"
+    ]
+    surplus = 0
+    if saved > 0 and growable:
+        nominal_total = sum(raw_leaves[i].width for i in growable)
+        remaining = saved
+        for position, i in enumerate(growable):
+            if position == len(growable) - 1:
+                bonus = remaining
+            else:
+                bonus = int(saved * raw_leaves[i].width / nominal_total)
+            shrunk_widths[i] += bonus
+            remaining -= bonus
+    elif saved > 0:
+        # Every leaf terminated via Theorem 1, so none of them needs the saved
+        # space; hand it to the outlier sketch instead of wasting it.
+        surplus = saved
+
+    leaves = []
+    for index, (node, width) in enumerate(zip(raw_leaves, shrunk_widths)):
+        leaves.append(
+            PartitionLeaf(
+                index=index,
+                vertices=tuple(node.vertices),
+                width=max(1, width),
+                nominal_width=node.width,
+                leaf_reason=node.leaf_reason or "unknown",
+            )
+        )
+    return leaves, surplus
+
+
+def workload_vertex_weights(
+    stats: VertexStatistics,
+    workload_source_counts: Mapping[Hashable, float],
+    smoothing_alpha: float = 1.0,
+) -> Dict[Hashable, float]:
+    """Derive smoothed relative vertex weights ``w̃(n)`` for Figure 3.
+
+    The weights are defined over the *data sample's* source vertices; vertices
+    that never appear in the workload sample receive the Laplace-smoothed
+    floor rather than zero (Section 6.4).
+    """
+    from repro.graph.smoothing import laplace_smoothed_weights
+
+    return laplace_smoothed_weights(
+        counts=workload_source_counts,
+        vocabulary=stats.vertices(),
+        alpha=smoothing_alpha,
+    )

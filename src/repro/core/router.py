@@ -1,0 +1,67 @@
+"""The vertex → partition hash structure ``H`` (Section 5).
+
+Sketch partitioning is an offline pre-processing step; at stream time every
+incoming edge ``(m, n)`` is routed by its *source vertex* ``m`` to the
+localized sketch ``H(m)``.  Vertices that never appeared in the data sample
+are routed to the dedicated outlier partition.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping
+
+#: Sentinel partition index meaning "the outlier sketch".
+OUTLIER_PARTITION = -1
+
+
+class VertexRouter:
+    """Maps source vertices to partition indices.
+
+    Args:
+        assignments: mapping from vertex to partition index (leaf index in the
+            partitioning tree).
+        num_partitions: number of non-outlier partitions; indices in
+            ``assignments`` must lie in ``[0, num_partitions)``.
+    """
+
+    def __init__(self, assignments: Mapping[Hashable, int], num_partitions: int) -> None:
+        if num_partitions < 0:
+            raise ValueError("num_partitions must be >= 0")
+        for vertex, index in assignments.items():
+            if not 0 <= index < num_partitions:
+                raise ValueError(
+                    f"vertex {vertex!r} assigned to partition {index}, but only "
+                    f"{num_partitions} partitions exist"
+                )
+        self._assignments: Dict[Hashable, int] = dict(assignments)
+        self._num_partitions = num_partitions
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of non-outlier partitions."""
+        return self._num_partitions
+
+    def __len__(self) -> int:
+        return len(self._assignments)
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self._assignments
+
+    def partition_of(self, vertex: Hashable) -> int:
+        """Partition index for ``vertex``; :data:`OUTLIER_PARTITION` if unseen."""
+        return self._assignments.get(vertex, OUTLIER_PARTITION)
+
+    def is_outlier(self, vertex: Hashable) -> bool:
+        """Whether ``vertex`` is served by the outlier sketch."""
+        return vertex not in self._assignments
+
+    def vertices_of(self, partition: int) -> Iterable[Hashable]:
+        """All vertices routed to the given partition (slow; for diagnostics)."""
+        return (v for v, p in self._assignments.items() if p == partition)
+
+    def partition_sizes(self) -> Dict[int, int]:
+        """Number of routed vertices per partition index."""
+        sizes: Dict[int, int] = {}
+        for index in self._assignments.values():
+            sizes[index] = sizes.get(index, 0) + 1
+        return sizes

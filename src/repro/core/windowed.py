@@ -1,0 +1,187 @@
+"""Time-windowed gSketch maintenance (Section 5, "dynamic queries").
+
+Users may ask for edge frequencies over specific time windows (last month,
+last year, ...).  The paper's prescription: divide the time line into
+intervals, keep per-window sketch statistics, and partition each window using
+a reservoir sample drawn from the *previous* window.  Queries over an
+arbitrary interval are answered by extrapolating from the stored windows that
+overlap it.
+
+:class:`WindowedGSketch` implements that scheme on top of :class:`GSketch`:
+
+* the first window has no preceding sample, so it is served by a single
+  unpartitioned sketch (equivalent to a Global Sketch of the same budget);
+* while window ``k`` is being ingested, a reservoir sample of its elements is
+  collected; when window ``k + 1`` opens, that sample drives the partitioning
+  of window ``k + 1``'s gSketch;
+* interval queries sum the per-window estimates, scaling the two boundary
+  windows by their fractional overlap with the query interval.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.config import GSketchConfig
+from repro.core.global_sketch import GlobalSketch
+from repro.core.gsketch import GSketch
+from repro.graph.edge import EdgeKey, StreamEdge
+from repro.graph.stream import GraphStream
+from repro.utils.rng import resolve_rng
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass
+class _WindowState:
+    """One time window's estimator plus its start time."""
+
+    index: int
+    estimator: GSketch | GlobalSketch
+
+    def query_edge(self, edge: EdgeKey) -> float:
+        return self.estimator.query_edge(edge)
+
+
+class WindowedGSketch:
+    """Maintains one estimator per fixed-length time window.
+
+    Args:
+        config: per-window space budget (each window gets its own sketches).
+        window_length: length of each time window, in the stream's timestamp
+            units.
+        sample_size: reservoir size collected per window to partition the
+            next window.
+        seed: RNG seed for reservoir sampling.
+    """
+
+    def __init__(
+        self,
+        config: GSketchConfig,
+        window_length: float,
+        sample_size: int = 5_000,
+        seed: int = 7,
+    ) -> None:
+        self.config = config
+        self.window_length = require_positive(window_length, "window_length")
+        self.sample_size = require_positive_int(sample_size, "sample_size")
+        self._rng = resolve_rng(seed)
+        self._windows: Dict[int, _WindowState] = {}
+        self._current_window: Optional[int] = None
+        self._reservoir: List[StreamEdge] = []
+        self._reservoir_seen = 0
+        self._previous_sample: Optional[GraphStream] = None
+        self._previous_window_size = 0
+
+    # ------------------------------------------------------------------ #
+    # Maintenance
+    # ------------------------------------------------------------------ #
+    def window_of(self, timestamp: float) -> int:
+        """Index of the window containing ``timestamp``."""
+        return int(math.floor(timestamp / self.window_length))
+
+    def observe(self, edge: StreamEdge) -> None:
+        """Ingest one stream element (elements must arrive in timestamp order)."""
+        window = self.window_of(edge.timestamp)
+        if self._current_window is None:
+            self._open_window(window)
+        elif window > self._current_window:
+            self._roll_to(window)
+        elif window < self._current_window:
+            raise ValueError(
+                f"out-of-order element: timestamp {edge.timestamp} belongs to window "
+                f"{window} but window {self._current_window} is already open"
+            )
+        state = self._windows[self._current_window]
+        state.estimator.update(edge.source, edge.target, edge.frequency)
+        self._reservoir_insert(edge)
+
+    def process(self, stream: GraphStream) -> int:
+        """Ingest an entire (timestamp-ordered) stream."""
+        count = 0
+        for edge in stream:
+            self.observe(edge)
+            count += 1
+        return count
+
+    def _reservoir_insert(self, edge: StreamEdge) -> None:
+        if len(self._reservoir) < self.sample_size:
+            self._reservoir.append(edge)
+        else:
+            slot = int(self._rng.integers(0, self._reservoir_seen + 1))
+            if slot < self.sample_size:
+                self._reservoir[slot] = edge
+        self._reservoir_seen += 1
+
+    def _open_window(self, window: int) -> None:
+        if self._previous_sample is not None and len(self._previous_sample) > 0:
+            # The previous window's size is the best available hint for how
+            # much the new window will absorb.
+            estimator: GSketch | GlobalSketch = GSketch.build(
+                self._previous_sample,
+                self.config,
+                stream_size_hint=self._previous_window_size or None,
+            )
+        else:
+            estimator = GlobalSketch(self.config)
+        self._windows[window] = _WindowState(index=window, estimator=estimator)
+        self._current_window = window
+        self._reservoir = []
+        self._reservoir_seen = 0
+
+    def _roll_to(self, window: int) -> None:
+        """Close the current window and open ``window`` (possibly skipping gaps)."""
+        self._previous_sample = GraphStream(
+            list(self._reservoir), name=f"window-{self._current_window}-sample"
+        )
+        self._previous_window_size = self._reservoir_seen
+        self._open_window(window)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query_edge(self, edge: EdgeKey, start: float, end: float) -> float:
+        """Estimate an edge's frequency over the time interval ``[start, end)``.
+
+        Boundary windows contribute proportionally to their overlap with the
+        interval (the paper's "extrapolating from the sketch time windows
+        which overlap most closely").
+        """
+        if end <= start:
+            raise ValueError("query interval must have positive length")
+        first = self.window_of(start)
+        last = self.window_of(end - 1e-12)
+        total = 0.0
+        for window in range(first, last + 1):
+            state = self._windows.get(window)
+            if state is None:
+                continue
+            window_start = window * self.window_length
+            window_end = window_start + self.window_length
+            overlap = min(end, window_end) - max(start, window_start)
+            fraction = max(0.0, min(1.0, overlap / self.window_length))
+            total += fraction * state.query_edge(edge)
+        return total
+
+    def query_edge_lifetime(self, edge: EdgeKey) -> float:
+        """Estimate an edge's frequency over all windows seen so far."""
+        return sum(state.query_edge(edge) for state in self._windows.values())
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def num_windows(self) -> int:
+        """Number of windows opened so far."""
+        return len(self._windows)
+
+    def window_indices(self) -> List[int]:
+        """Sorted indices of the opened windows."""
+        return sorted(self._windows)
+
+    def estimator_for_window(self, window: int) -> GSketch | GlobalSketch:
+        """The estimator serving the given window (KeyError if never opened)."""
+        return self._windows[window].estimator

@@ -1,0 +1,50 @@
+"""Common dataset containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.graph.stream import GraphStream
+
+
+@dataclass(frozen=True)
+class DatasetConfig:
+    """Base configuration shared by all generators.
+
+    Attributes:
+        seed: RNG seed; generators are fully deterministic given a seed.
+        name: dataset name used in reports.
+    """
+
+    seed: int = 7
+    name: str = "dataset"
+
+
+@dataclass
+class DatasetBundle:
+    """A generated dataset plus its provenance.
+
+    Attributes:
+        stream: the generated graph stream in arrival order.
+        description: human-readable provenance (generator + parameters).
+        parameters: the generator parameters, for experiment reports.
+    """
+
+    stream: GraphStream
+    description: str = ""
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.stream.name
+
+    def summary(self) -> Dict[str, object]:
+        """Quick census used by experiment reports."""
+        return {
+            "name": self.name,
+            "elements": len(self.stream),
+            "distinct_edges": len(self.stream.distinct_edges()),
+            "vertices": len(self.stream.vertices()),
+            "total_frequency": self.stream.total_frequency(),
+        }

@@ -1,0 +1,106 @@
+"""Named, scaled dataset configurations.
+
+The benchmark harness refers to datasets by name so that every figure is
+regenerated from the same scaled configurations.  Three size tiers exist:
+
+* ``-tiny``  — seconds-scale, used by the test suite and quick smoke runs;
+* ``-small`` — the default benchmark tier (tens of seconds end to end);
+* ``-medium`` — closer to paper scale, for users willing to wait minutes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.datasets.base import DatasetBundle
+from repro.datasets.dblp import DBLPConfig, generate_dblp_stream
+from repro.datasets.gtgraph import GTGraphConfig, generate_gtgraph_stream
+from repro.datasets.ipattack import IPAttackConfig, generate_ip_attack_stream
+
+_REGISTRY: Dict[str, Callable[[int], DatasetBundle]] = {}
+
+
+def _register(name: str, factory: Callable[[int], DatasetBundle]) -> None:
+    _REGISTRY[name] = factory
+
+
+_register(
+    "dblp-tiny",
+    lambda seed: generate_dblp_stream(
+        DBLPConfig(seed=seed, name="dblp-tiny", num_authors=2_000, num_papers=4_000,
+                   num_communities=40)
+    ),
+)
+_register(
+    "dblp-small",
+    lambda seed: generate_dblp_stream(
+        DBLPConfig(seed=seed, name="dblp-small", num_authors=8_000, num_papers=25_000,
+                   num_communities=120)
+    ),
+)
+_register(
+    "dblp-medium",
+    lambda seed: generate_dblp_stream(
+        DBLPConfig(seed=seed, name="dblp-medium", num_authors=20_000, num_papers=80_000,
+                   num_communities=250)
+    ),
+)
+_register(
+    "ipattack-tiny",
+    lambda seed: generate_ip_attack_stream(
+        IPAttackConfig(seed=seed, name="ipattack-tiny", num_attackers=60,
+                       num_background_sources=3_000, num_targets=5_000,
+                       num_events=20_000)
+    ),
+)
+_register(
+    "ipattack-small",
+    lambda seed: generate_ip_attack_stream(
+        IPAttackConfig(seed=seed, name="ipattack-small", num_attackers=250,
+                       num_background_sources=15_000, num_targets=25_000,
+                       num_events=120_000)
+    ),
+)
+_register(
+    "ipattack-medium",
+    lambda seed: generate_ip_attack_stream(
+        IPAttackConfig(seed=seed, name="ipattack-medium", num_attackers=500,
+                       num_background_sources=40_000, num_targets=60_000,
+                       num_events=400_000)
+    ),
+)
+_register(
+    "gtgraph-tiny",
+    lambda seed: generate_gtgraph_stream(
+        GTGraphConfig(seed=seed, name="gtgraph-tiny", scale=12, num_edges=30_000)
+    ),
+)
+_register(
+    "gtgraph-small",
+    lambda seed: generate_gtgraph_stream(
+        GTGraphConfig(seed=seed, name="gtgraph-small", scale=14, num_edges=150_000)
+    ),
+)
+_register(
+    "gtgraph-medium",
+    lambda seed: generate_gtgraph_stream(
+        GTGraphConfig(seed=seed, name="gtgraph-medium", scale=16, num_edges=600_000)
+    ),
+)
+
+
+def available_datasets() -> List[str]:
+    """Names of all registered dataset configurations."""
+    return sorted(_REGISTRY)
+
+
+def load_dataset(name: str, seed: int = 7) -> DatasetBundle:
+    """Generate the named dataset with the given seed.
+
+    Raises:
+        KeyError: if ``name`` is not registered; the error message lists the
+            available names.
+    """
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown dataset {name!r}; available: {available_datasets()}")
+    return _REGISTRY[name](seed)

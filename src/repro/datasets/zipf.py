@@ -1,0 +1,35 @@
+"""Bounded Zipf sampling helpers shared by the dataset generators."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_positive, require_positive_int
+
+
+def bounded_zipf_probabilities(population: int, exponent: float) -> np.ndarray:
+    """Probabilities ``p_i ∝ (i+1)^-exponent`` over ``population`` items."""
+    require_positive_int(population, "population")
+    require_positive(exponent, "exponent")
+    ranks = np.arange(1, population + 1, dtype=np.float64)
+    weights = ranks**-exponent
+    return weights / weights.sum()
+
+
+def bounded_zipf_sample(
+    population: int, size: int, exponent: float, seed: SeedLike = None
+) -> np.ndarray:
+    """Draw ``size`` item indices in ``[0, population)`` with Zipf-distributed ranks.
+
+    Item 0 is the most popular.  Uses inverse-CDF sampling on the bounded
+    Zipf distribution, which avoids the unbounded support of
+    ``numpy.random.Generator.zipf``.
+    """
+    require_positive_int(size, "size")
+    rng = resolve_rng(seed)
+    probabilities = bounded_zipf_probabilities(population, exponent)
+    cdf = np.cumsum(probabilities)
+    cdf[-1] = 1.0
+    uniforms = rng.random(size)
+    return np.searchsorted(cdf, uniforms, side="left").astype(np.int64)

@@ -1,0 +1,36 @@
+"""Experiment drivers that regenerate the paper's tables and figures.
+
+Each figure of Section 6 maps to a driver in :mod:`repro.experiments.figures`;
+the drivers share cached sweep results through :mod:`repro.experiments.runner`
+so that, e.g., Figure 4 (average relative error) and Figure 5 (number of
+effective queries) are produced from a single pass over the data, exactly as
+in the paper.
+"""
+
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.memory import (
+    DEFAULT_LOAD_TARGETS,
+    cells_for_memory_bytes,
+    memory_sweep_for_stream,
+)
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import (
+    AccuracyCell,
+    MemorySweepResult,
+    run_alpha_sweep,
+    run_memory_sweep,
+    run_outlier_experiment,
+)
+
+__all__ = [
+    "AccuracyCell",
+    "DEFAULT_LOAD_TARGETS",
+    "ExperimentConfig",
+    "ExperimentTable",
+    "MemorySweepResult",
+    "cells_for_memory_bytes",
+    "memory_sweep_for_stream",
+    "run_alpha_sweep",
+    "run_memory_sweep",
+    "run_outlier_experiment",
+]

@@ -1,0 +1,376 @@
+"""Drivers that regenerate every table and figure of the paper's evaluation.
+
+Each ``figure*``/``table*`` function returns one or more
+:class:`~repro.experiments.reporting.ExperimentTable` objects containing the
+same rows/series the corresponding paper figure plots.  Dataset names are
+parameterized by a size tier (``tiny`` / ``small`` / ``medium``) so the same
+drivers back the fast test suite, the default benchmarks and larger runs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datasets.registry import load_dataset
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.memory import format_memory
+from repro.experiments.reporting import ExperimentTable
+from repro.experiments.runner import (
+    METHOD_GLOBAL,
+    METHOD_GSKETCH,
+    SCENARIO_DATA,
+    SCENARIO_WORKLOAD,
+    MemorySweepResult,
+    run_alpha_sweep,
+    run_memory_sweep,
+    run_outlier_experiment,
+)
+from repro.graph.statistics import variance_ratio
+
+#: The dataset families evaluated by the paper, in figure order (a), (b), (c).
+DATASET_FAMILIES: Tuple[str, ...] = ("dblp", "ipattack", "gtgraph")
+
+DEFAULT_TIER = "tiny"
+DEFAULT_ALPHAS: Tuple[float, ...] = (1.2, 1.4, 1.6, 1.8, 2.0)
+
+
+def dataset_name(family: str, tier: str = DEFAULT_TIER) -> str:
+    """Registered dataset name for a family (``dblp``/``ipattack``/``gtgraph``) and tier."""
+    return f"{family}-{tier}"
+
+
+def base_config(family: str, tier: str = DEFAULT_TIER, **overrides: object) -> ExperimentConfig:
+    """Experiment configuration for one dataset family.
+
+    The IP attack family uses the paper's first-day sampling protocol; the
+    other families use reservoir samples.
+    """
+    params: Dict[str, object] = {
+        "dataset": dataset_name(family, tier),
+        "sample_from_first_day": family == "ipattack",
+    }
+    params.update(overrides)
+    return ExperimentConfig(**params)  # type: ignore[arg-type]
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.1: dataset characteristics
+# --------------------------------------------------------------------------- #
+def variance_ratio_table(tier: str = DEFAULT_TIER, seed: int = 7) -> ExperimentTable:
+    """The σG/σV variance-ratio statistic reported in Section 6.1."""
+    table = ExperimentTable(
+        title="Section 6.1: variance ratio sigma_G / sigma_V",
+        columns=["dataset", "elements", "distinct edges", "variance ratio"],
+        notes=[
+            "Paper values: DBLP 3.674, IP Attack 10.107, GTGraph 4.156 "
+            "(on the unscaled original data sets)."
+        ],
+    )
+    for family in DATASET_FAMILIES:
+        bundle = load_dataset(dataset_name(family, tier), seed=seed)
+        ratio = variance_ratio(bundle.stream)
+        table.add_row(
+            [
+                bundle.name,
+                len(bundle.stream),
+                len(bundle.stream.distinct_edges()),
+                ratio,
+            ]
+        )
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Shared table builders
+# --------------------------------------------------------------------------- #
+def _accuracy_table(
+    sweep: MemorySweepResult,
+    title: str,
+    metric: str,
+    use_subgraphs: bool = False,
+) -> ExperimentTable:
+    """Build an accuracy table from a sweep; ``metric`` is ``error`` or ``effective``."""
+    metric_column = (
+        "avg relative error" if metric == "error" else "# effective queries"
+    )
+    table = ExperimentTable(
+        title=title,
+        columns=["memory", METHOD_GLOBAL, METHOD_GSKETCH],
+        notes=[f"metric: {metric_column}", f"dataset: {sweep.dataset}"],
+    )
+    for point in sweep.points:
+        row: List[object] = [format_memory(point.memory_bytes) if sweep.scenario != "alpha-sweep" else point.label]
+        for method in (METHOD_GLOBAL, METHOD_GSKETCH):
+            cell = point.cell(method)
+            result = cell.subgraph_result if use_subgraphs else cell.edge_result
+            if result is None:
+                row.append("n/a")
+            elif metric == "error":
+                row.append(result.average_relative_error)
+            else:
+                row.append(result.effective_queries)
+        table.add_row(row)
+    return table
+
+
+def _timing_table(
+    sweep: MemorySweepResult, title: str, which: str, use_subgraphs: bool = False
+) -> ExperimentTable:
+    """Build a timing table; ``which`` is ``construction`` or ``query``."""
+    table = ExperimentTable(
+        title=title,
+        columns=["memory", METHOD_GLOBAL, METHOD_GSKETCH],
+        notes=[f"seconds ({which} time)", f"dataset: {sweep.dataset}"],
+    )
+    for point in sweep.points:
+        row: List[object] = [format_memory(point.memory_bytes)]
+        for method in (METHOD_GLOBAL, METHOD_GSKETCH):
+            cell = point.cell(method)
+            if which == "construction":
+                row.append(cell.construction_seconds)
+            else:
+                row.append(
+                    cell.subgraph_query_seconds if use_subgraphs else cell.edge_query_seconds
+                )
+        table.add_row(row)
+    return table
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.3: data-sample-only scenario
+# --------------------------------------------------------------------------- #
+def figure4(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 4: average relative error of edge queries vs. memory (data sample)."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_memory_sweep(config, scenario=SCENARIO_DATA)
+        tables.append(
+            _accuracy_table(sweep, f"Figure 4({panel}): {family}, edge queries", "error")
+        )
+    return tables
+
+
+def figure5(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 5: number of effective edge queries vs. memory (data sample)."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_memory_sweep(config, scenario=SCENARIO_DATA)
+        tables.append(
+            _accuracy_table(sweep, f"Figure 5({panel}): {family}, edge queries", "effective")
+        )
+    return tables
+
+
+def figure6(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 6: aggregate subgraph queries on DBLP vs. memory (data sample)."""
+    config = base_config("dblp", tier, **overrides)
+    sweep = run_memory_sweep(config, scenario=SCENARIO_DATA, include_subgraphs=True)
+    return [
+        _accuracy_table(
+            sweep, "Figure 6(a): DBLP, subgraph queries, avg relative error", "error",
+            use_subgraphs=True,
+        ),
+        _accuracy_table(
+            sweep, "Figure 6(b): DBLP, subgraph queries, # effective", "effective",
+            use_subgraphs=True,
+        ),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.4: data + workload samples
+# --------------------------------------------------------------------------- #
+def figure7(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 7: avg relative error vs. memory with workload samples (alpha=1.5)."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_memory_sweep(config, scenario=SCENARIO_WORKLOAD)
+        tables.append(
+            _accuracy_table(
+                sweep, f"Figure 7({panel}): {family}, edge queries (workload)", "error"
+            )
+        )
+    return tables
+
+
+def figure8(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 8: number of effective queries vs. memory with workload samples."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_memory_sweep(config, scenario=SCENARIO_WORKLOAD)
+        tables.append(
+            _accuracy_table(
+                sweep, f"Figure 8({panel}): {family}, edge queries (workload)", "effective"
+            )
+        )
+    return tables
+
+
+def figure9(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 9: subgraph queries on DBLP vs. memory with workload samples."""
+    config = base_config("dblp", tier, **overrides)
+    sweep = run_memory_sweep(config, scenario=SCENARIO_WORKLOAD, include_subgraphs=True)
+    return [
+        _accuracy_table(
+            sweep, "Figure 9(a): DBLP, subgraph queries (workload), avg relative error",
+            "error", use_subgraphs=True,
+        ),
+        _accuracy_table(
+            sweep, "Figure 9(b): DBLP, subgraph queries (workload), # effective",
+            "effective", use_subgraphs=True,
+        ),
+    ]
+
+
+def figure10(
+    tier: str = DEFAULT_TIER, alphas: Sequence[float] = DEFAULT_ALPHAS, **overrides: object
+) -> List[ExperimentTable]:
+    """Figure 10: avg relative error vs. Zipf skewness alpha (fixed memory)."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_alpha_sweep(config, alphas=tuple(alphas))
+        tables.append(
+            _accuracy_table(sweep, f"Figure 10({panel}): {family}, error vs alpha", "error")
+        )
+    return tables
+
+
+def figure11(
+    tier: str = DEFAULT_TIER, alphas: Sequence[float] = DEFAULT_ALPHAS, **overrides: object
+) -> List[ExperimentTable]:
+    """Figure 11: number of effective queries vs. Zipf skewness alpha."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        sweep = run_alpha_sweep(config, alphas=tuple(alphas))
+        tables.append(
+            _accuracy_table(
+                sweep, f"Figure 11({panel}): {family}, effective queries vs alpha", "effective"
+            )
+        )
+    return tables
+
+
+def figure12(
+    tier: str = DEFAULT_TIER, alphas: Sequence[float] = DEFAULT_ALPHAS, **overrides: object
+) -> List[ExperimentTable]:
+    """Figure 12: subgraph queries on DBLP vs. Zipf skewness alpha."""
+    config = base_config("dblp", tier, **overrides)
+    sweep = run_alpha_sweep(config, alphas=tuple(alphas), include_subgraphs=True)
+    return [
+        _accuracy_table(
+            sweep, "Figure 12(a): DBLP, subgraph queries vs alpha, avg relative error",
+            "error", use_subgraphs=True,
+        ),
+        _accuracy_table(
+            sweep, "Figure 12(b): DBLP, subgraph queries vs alpha, # effective",
+            "effective", use_subgraphs=True,
+        ),
+    ]
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.5: efficiency
+# --------------------------------------------------------------------------- #
+def figure13(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 13: gSketch construction time Tc vs. memory, both scenarios."""
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        data_sweep = run_memory_sweep(config, scenario=SCENARIO_DATA)
+        workload_sweep = run_memory_sweep(config, scenario=SCENARIO_WORKLOAD)
+        table = ExperimentTable(
+            title=f"Figure 13({panel}): {family}, sketch construction time Tc (seconds)",
+            columns=["memory", "Data Sample", "Data & Workload Sample"],
+            notes=[f"dataset: {data_sweep.dataset}"],
+        )
+        for data_point, workload_point in zip(data_sweep.points, workload_sweep.points):
+            table.add_row(
+                [
+                    format_memory(data_point.memory_bytes),
+                    data_point.cell(METHOD_GSKETCH).construction_seconds,
+                    workload_point.cell(METHOD_GSKETCH).construction_seconds,
+                ]
+            )
+        tables.append(table)
+    return tables
+
+
+def figure14(tier: str = DEFAULT_TIER, **overrides: object) -> List[ExperimentTable]:
+    """Figure 14: query processing time Tp vs. memory.
+
+    For DBLP the paper plots both edge-query and subgraph-query time; the
+    other data sets report edge queries only.
+    """
+    tables = []
+    for panel, family in zip("abc", DATASET_FAMILIES):
+        config = base_config(family, tier, **overrides)
+        include_subgraphs = family == "dblp"
+        sweep = run_memory_sweep(
+            config, scenario=SCENARIO_DATA, include_subgraphs=include_subgraphs
+        )
+        tables.append(
+            _timing_table(
+                sweep,
+                f"Figure 14({panel}): {family}, edge query processing time Tp (seconds)",
+                "query",
+            )
+        )
+        if include_subgraphs:
+            tables.append(
+                _timing_table(
+                    sweep,
+                    f"Figure 14({panel}): {family}, subgraph query processing time Tp (seconds)",
+                    "query",
+                    use_subgraphs=True,
+                )
+            )
+    return tables
+
+
+# --------------------------------------------------------------------------- #
+# Section 6.6: effect of new vertices (Table 1)
+# --------------------------------------------------------------------------- #
+def table1(tier: str = DEFAULT_TIER, **overrides: object) -> ExperimentTable:
+    """Table 1: avg relative error of gSketch vs. its outlier sketch (GTGraph)."""
+    config = base_config("gtgraph", tier, **overrides)
+    rows = run_outlier_experiment(config)
+    table = ExperimentTable(
+        title="Table 1: gSketch vs outlier sketch, avg relative error (GTGraph)",
+        columns=["memory", "gSketch", "Outlier sketch", "# outlier queries"],
+        notes=["Outlier column is n/a when no query was routed to the outlier sketch."],
+    )
+    for row in rows:
+        table.add_row(
+            [
+                format_memory(row.memory_bytes),
+                row.gsketch_error,
+                row.outlier_error if row.outlier_error is not None else "n/a",
+                row.outlier_query_count,
+            ]
+        )
+    return table
+
+
+def all_figures(tier: str = DEFAULT_TIER) -> Dict[str, List[ExperimentTable]]:
+    """Regenerate every table and figure; returns them keyed by experiment id."""
+    return {
+        "section6.1-variance": [variance_ratio_table(tier)],
+        "figure4": figure4(tier),
+        "figure5": figure5(tier),
+        "figure6": figure6(tier),
+        "figure7": figure7(tier),
+        "figure8": figure8(tier),
+        "figure9": figure9(tier),
+        "figure10": figure10(tier),
+        "figure11": figure11(tier),
+        "figure12": figure12(tier),
+        "figure13": figure13(tier),
+        "figure14": figure14(tier),
+        "table1": [table1(tier)],
+    }

@@ -1,0 +1,26 @@
+"""Graph stream model, vertex statistics, sampling and smoothing substrates."""
+
+from repro.graph.edge import EdgeKey, StreamEdge, edge_key
+from repro.graph.sampling import (
+    reservoir_sample,
+    uniform_edge_sample,
+    zipf_edge_sample,
+    zipf_rank_probabilities,
+)
+from repro.graph.smoothing import laplace_smoothed_weights
+from repro.graph.statistics import VertexStatistics, variance_ratio
+from repro.graph.stream import GraphStream
+
+__all__ = [
+    "EdgeKey",
+    "GraphStream",
+    "StreamEdge",
+    "VertexStatistics",
+    "edge_key",
+    "laplace_smoothed_weights",
+    "reservoir_sample",
+    "uniform_edge_sample",
+    "variance_ratio",
+    "zipf_edge_sample",
+    "zipf_rank_probabilities",
+]

@@ -1,0 +1,65 @@
+"""Graph stream elements.
+
+The paper models a graph stream as a sequence of elements
+``(x_i, y_i; t_i)`` where ``(x_i, y_i)`` is a directed edge received at
+time-stamp ``t_i``, optionally carrying a frequency ``f(x_i, y_i, t_i)``
+(Section 3.1).  :class:`StreamEdge` is that element; :func:`edge_key` is the
+``l(x) ⊕ l(y)`` concatenation key under which an edge is hashed into a sketch.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, NamedTuple, Tuple
+
+#: The canonical identity of a directed edge: the ``(source, target)`` pair.
+EdgeKey = Tuple[Hashable, Hashable]
+
+
+class StreamEdge(NamedTuple):
+    """One element of a graph stream.
+
+    Attributes:
+        source: source vertex label (``x_i``).
+        target: target vertex label (``y_i``).
+        timestamp: arrival time-stamp ``t_i`` (monotone but not necessarily
+            unique; units are application-defined).
+        frequency: frequency ``f(x_i, y_i, t_i)`` carried by this element,
+            1.0 by default as in the paper.
+    """
+
+    source: Hashable
+    target: Hashable
+    timestamp: float = 0.0
+    frequency: float = 1.0
+
+    @property
+    def key(self) -> EdgeKey:
+        """The ``(source, target)`` identity of this edge."""
+        return (self.source, self.target)
+
+    def reversed(self) -> "StreamEdge":
+        """The same element with source and target swapped."""
+        return StreamEdge(self.target, self.source, self.timestamp, self.frequency)
+
+
+def edge_key(source: Hashable, target: Hashable) -> EdgeKey:
+    """Return the canonical key of the directed edge ``(source, target)``.
+
+    This mirrors the paper's ``l(x) ⊕ l(y)`` concatenation: the key identifies
+    the directed edge regardless of the time-stamps of its occurrences.
+    """
+    return (source, target)
+
+
+def undirected_edge_key(u: Hashable, v: Hashable) -> EdgeKey:
+    """Canonical key for an undirected edge.
+
+    The paper notes that undirected graphs are handled by ordering vertex
+    labels lexicographically (footnote 1).  Mixed-type labels fall back to
+    ordering on their string representation.
+    """
+    try:
+        ordered = (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        ordered = (u, v) if str(u) <= str(v) else (v, u)
+    return ordered

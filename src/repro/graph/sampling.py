@@ -1,0 +1,130 @@
+"""Sampling primitives.
+
+The paper draws on three samplers:
+
+* **Reservoir sampling** [29] to obtain the data sample used by the sketch
+  partitioner (Section 6.3) and per-window samples (Section 5).
+* **Uniform sampling** of distinct edges to generate edge query sets.
+* **Zipf-based sampling** of edges, parameterized by a skewness factor
+  ``alpha``, to generate query-workload samples and skewed query sets
+  (Section 6.4).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.graph.edge import EdgeKey, StreamEdge
+from repro.graph.stream import GraphStream
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_positive, require_positive_int
+
+
+def reservoir_sample(
+    stream: GraphStream, size: int, seed: SeedLike = None, name: str | None = None
+) -> GraphStream:
+    """Uniform sample of ``size`` stream elements using reservoir sampling.
+
+    Processes the stream in a single pass, exactly as a streaming system
+    would; if the stream has fewer than ``size`` elements, all of them are
+    returned.
+    """
+    require_positive_int(size, "size")
+    rng = resolve_rng(seed)
+    reservoir: List[StreamEdge] = []
+    for index, edge in enumerate(stream):
+        if index < size:
+            reservoir.append(edge)
+        else:
+            slot = int(rng.integers(0, index + 1))
+            if slot < size:
+                reservoir[slot] = edge
+    sample_name = name if name is not None else f"{stream.name}-reservoir{size}"
+    return GraphStream(reservoir, name=sample_name)
+
+
+def uniform_edge_sample(
+    stream: GraphStream, size: int, seed: SeedLike = None, distinct: bool = True
+) -> List[EdgeKey]:
+    """Sample ``size`` edge keys uniformly.
+
+    Args:
+        stream: the stream to sample from.
+        size: number of edge keys to draw.
+        seed: RNG seed.
+        distinct: if ``True`` (default) draw uniformly from the set of
+            distinct edges — this is how the paper generates edge query sets,
+            which makes low-frequency edges as likely to be queried as heavy
+            ones.  If ``False`` draw uniformly from stream *elements*, which
+            biases toward frequent edges.
+    """
+    require_positive_int(size, "size")
+    rng = resolve_rng(seed)
+    if distinct:
+        population: Sequence[EdgeKey] = sorted(stream.distinct_edges())
+    else:
+        population = [e.key for e in stream]
+    if not population:
+        raise ValueError("cannot sample edges from an empty stream")
+    indices = rng.integers(0, len(population), size=size)
+    return [population[int(i)] for i in indices]
+
+
+def zipf_rank_probabilities(count: int, alpha: float) -> np.ndarray:
+    """Normalized Zipf probabilities ``p_r ∝ r^-alpha`` for ranks ``1..count``."""
+    require_positive_int(count, "count")
+    require_positive(alpha, "alpha")
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def zipf_edge_sample(
+    stream: GraphStream,
+    size: int,
+    alpha: float,
+    seed: SeedLike = None,
+    by_frequency_rank: bool = True,
+) -> List[EdgeKey]:
+    """Zipf-skewed sample of edge keys (with replacement).
+
+    Edges are ranked (by descending exact frequency when
+    ``by_frequency_rank`` is ``True``, otherwise in an arbitrary but
+    deterministic order) and then drawn with probability proportional to
+    ``rank^-alpha``.  Larger ``alpha`` concentrates the sample on the head of
+    the ranking, mimicking the skewed query workloads of Section 6.4.
+    """
+    require_positive_int(size, "size")
+    require_positive(alpha, "alpha")
+    rng = resolve_rng(seed)
+    frequencies = stream.edge_frequencies()
+    if not frequencies:
+        raise ValueError("cannot sample edges from an empty stream")
+    if by_frequency_rank:
+        ranked = sorted(frequencies.items(), key=lambda item: (-item[1], repr(item[0])))
+    else:
+        ranked = sorted(frequencies.items(), key=lambda item: repr(item[0]))
+    keys = [key for key, _freq in ranked]
+    probabilities = zipf_rank_probabilities(len(keys), alpha)
+    chosen = rng.choice(len(keys), size=size, replace=True, p=probabilities)
+    return [keys[int(i)] for i in chosen]
+
+
+def zipf_workload_stream(
+    stream: GraphStream,
+    size: int,
+    alpha: float,
+    seed: SeedLike = None,
+    name: str | None = None,
+) -> GraphStream:
+    """A query-workload *sample stream* drawn by Zipf sampling.
+
+    The paper's workload sample is a bag of edges (Section 6.4); representing
+    it as a :class:`GraphStream` lets the partitioner reuse the same vertex
+    statistics machinery to derive the relative vertex weights ``w̃(n)``.
+    """
+    keys = zipf_edge_sample(stream, size, alpha, seed=seed)
+    workload_name = name if name is not None else f"{stream.name}-workload-a{alpha}"
+    return GraphStream.from_pairs(keys, name=workload_name)

@@ -1,0 +1,45 @@
+"""Laplace smoothing of workload vertex weights.
+
+Section 6.4: a vertex present in the data sample may be absent from the query
+workload sample; its raw relative weight ``w̃(m)`` would be zero, which would
+zero out its term in the workload-aware objective (Equation 10/11) and starve
+its partition of space.  The paper applies Laplace (add-one style) smoothing
+to avoid zero weights; this module implements that smoothing for arbitrary
+pseudo-count ``alpha``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Mapping
+
+from repro.utils.validation import require_positive
+
+
+def laplace_smoothed_weights(
+    counts: Mapping[Hashable, float],
+    vocabulary: Iterable[Hashable],
+    alpha: float = 1.0,
+) -> Dict[Hashable, float]:
+    """Smoothed relative weights over ``vocabulary``.
+
+    Args:
+        counts: raw occurrence counts (e.g. how often each vertex is the
+            source of a workload-sample edge).  Keys outside ``vocabulary``
+            are ignored.
+        vocabulary: the complete set of items that must receive a non-zero
+            weight (e.g. every source vertex of the data sample).
+        alpha: Laplace pseudo-count added to every vocabulary item.
+
+    Returns:
+        A dict mapping every vocabulary item to a weight in (0, 1]; weights
+        sum to 1 over the vocabulary.
+    """
+    require_positive(alpha, "alpha")
+    vocab = list(dict.fromkeys(vocabulary))
+    if not vocab:
+        raise ValueError("vocabulary must contain at least one item")
+    for value in counts.values():
+        if value < 0:
+            raise ValueError("counts must be non-negative")
+    total = sum(counts.get(item, 0.0) for item in vocab) + alpha * len(vocab)
+    return {item: (counts.get(item, 0.0) + alpha) / total for item in vocab}

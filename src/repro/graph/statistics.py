@@ -1,0 +1,189 @@
+"""Vertex-level statistics used by the sketch partitioner.
+
+The partitioning algorithms never see true edge frequencies.  They work from a
+small data sample and use, per source vertex ``m``:
+
+* the estimated relative vertex frequency ``f̃_v(m)`` (Equation 2),
+* the estimated out degree ``d̃(m)`` (Equation 3),
+* the derived average outgoing edge frequency ``f̃_v(m) / d̃(m)``.
+
+:func:`variance_ratio` computes the σG/σV statistic of Section 6.1, which the
+paper uses to demonstrate local similarity (per-vertex edge-frequency variance
+is much smaller than global variance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Iterable, List, Mapping, Tuple
+
+import numpy as np
+
+from repro.graph.stream import GraphStream
+
+
+@dataclass(frozen=True)
+class VertexStatistics:
+    """Per-source-vertex statistics extracted from a data sample.
+
+    Attributes:
+        vertex_frequency: ``f̃_v(m)``, total sampled frequency of edges
+            emanating from ``m``.
+        out_degree: ``d̃(m)``, number of distinct sampled out-edges of ``m``
+            (may be fractional after :meth:`scaled`).
+        total_frequency: total frequency mass of the sample.
+    """
+
+    vertex_frequency: Mapping[Hashable, float]
+    out_degree: Mapping[Hashable, float]
+    total_frequency: float = field(default=0.0)
+
+    @classmethod
+    def from_stream(cls, sample: GraphStream) -> "VertexStatistics":
+        """Compute statistics from a (sampled) graph stream."""
+        return cls(
+            vertex_frequency=sample.vertex_frequencies(),
+            out_degree=sample.out_degrees(),
+            total_frequency=sample.total_frequency(),
+        )
+
+    def vertices(self) -> List[Hashable]:
+        """The source vertices covered by the sample."""
+        return list(self.vertex_frequency.keys())
+
+    def __contains__(self, vertex: Hashable) -> bool:
+        return vertex in self.vertex_frequency
+
+    def __len__(self) -> int:
+        return len(self.vertex_frequency)
+
+    def frequency(self, vertex: Hashable) -> float:
+        """``f̃_v(vertex)``; 0 for vertices absent from the sample."""
+        return self.vertex_frequency.get(vertex, 0.0)
+
+    def degree(self, vertex: Hashable) -> float:
+        """``d̃(vertex)``; 0 for vertices absent from the sample."""
+        return self.out_degree.get(vertex, 0)
+
+    def average_edge_frequency(self, vertex: Hashable) -> float:
+        """``f̃_v(m) / d̃(m)``, the estimated mean frequency of ``m``'s out-edges.
+
+        Vertices with zero sampled out-degree have undefined average frequency;
+        this returns 0.0 for them, which routes them toward the cheap end of
+        the sorted order.
+        """
+        degree = self.degree(vertex)
+        if degree <= 0:
+            return 0.0
+        return self.frequency(vertex) / degree
+
+    def restricted_to(self, vertices: Iterable[Hashable]) -> "VertexStatistics":
+        """Statistics restricted to a subset of vertices (used by tree splits)."""
+        vertex_set = set(vertices)
+        freq = {v: f for v, f in self.vertex_frequency.items() if v in vertex_set}
+        deg = {v: d for v, d in self.out_degree.items() if v in vertex_set}
+        return VertexStatistics(
+            vertex_frequency=freq,
+            out_degree=deg,
+            total_frequency=float(sum(freq.values())),
+        )
+
+    def scaled(self, factor: float) -> "VertexStatistics":
+        """Statistics with both frequencies and degrees multiplied by ``factor``.
+
+        Linear degree scaling over-estimates the true out-degree of vertices
+        whose edges are heavy (every occurrence of the same edge is counted
+        again); prefer :meth:`extrapolated` when the sample fraction is known.
+        """
+        if factor <= 0:
+            raise ValueError(f"scale factor must be > 0, got {factor}")
+        return VertexStatistics(
+            vertex_frequency={v: f * factor for v, f in self.vertex_frequency.items()},
+            out_degree={v: d * factor for v, d in self.out_degree.items()},
+            total_frequency=self.total_frequency * factor,
+        )
+
+    def extrapolated(self, sample_fraction: float) -> "VertexStatistics":
+        """Statistics extrapolated from a ``sample_fraction`` element sample.
+
+        The split objectives (Equations 9 and 11) are scale-invariant, but the
+        partitioning-termination criterion of Theorem 1 and the width
+        shrinking of criterion-2 leaves compare ``sum_m d̃(m)`` against
+        absolute sketch widths, so the sample counts must be extrapolated to
+        stream scale:
+
+        * vertex frequencies scale by ``1 / p`` (unbiased for element
+          sampling);
+        * out-degrees use a capture-probability correction: an edge of true
+          frequency ``f`` is present in the sample with probability
+          ``1 - (1 - p)^f``, so with ``a = f̃_v / d̃`` the observed average
+          per-edge sample count, the true degree is estimated as
+          ``d̃ / (1 - (1 - p)^(a / p))``.  Heavy-edge vertices keep their
+          observed degree (all of their edges were seen) while
+          frequency-one vertices scale by ``~1/p``.
+        """
+        if not 0 < sample_fraction <= 1:
+            raise ValueError(
+                f"sample_fraction must be in (0, 1], got {sample_fraction}"
+            )
+        p = sample_fraction
+        if p == 1.0:
+            return self
+        scale = 1.0 / p
+        degrees: Dict[Hashable, float] = {}
+        for vertex, observed_degree in self.out_degree.items():
+            if observed_degree <= 0:
+                degrees[vertex] = 0.0
+                continue
+            sampled_freq = self.vertex_frequency.get(vertex, 0.0)
+            average_sample_count = max(1.0, sampled_freq / observed_degree)
+            estimated_true_freq = average_sample_count / p
+            capture_probability = 1.0 - (1.0 - p) ** estimated_true_freq
+            degrees[vertex] = observed_degree / max(capture_probability, p)
+        return VertexStatistics(
+            vertex_frequency={v: f * scale for v, f in self.vertex_frequency.items()},
+            out_degree=degrees,
+            total_frequency=self.total_frequency * scale,
+        )
+
+
+def variance_ratio(stream: GraphStream) -> float:
+    """Compute σG / σV for a stream (Section 6.1).
+
+    σG is the variance of the exact frequencies of all distinct edges.  σV is
+    the average, over source vertices with at least one out-edge, of the
+    variance of the frequencies of that vertex's out-edges (single-edge
+    vertices contribute zero variance).  A ratio well above 1 indicates the
+    local-similarity property gSketch exploits.
+
+    Raises:
+        ValueError: if the stream has no edges.
+    """
+    frequencies = stream.edge_frequencies()
+    if not frequencies:
+        raise ValueError("cannot compute a variance ratio on an empty stream")
+    values = np.array(list(frequencies.values()), dtype=np.float64)
+    global_variance = float(values.var())
+
+    per_vertex: Dict[Hashable, List[float]] = {}
+    for (source, _target), freq in frequencies.items():
+        per_vertex.setdefault(source, []).append(freq)
+    local_variances = [float(np.var(np.asarray(v))) for v in per_vertex.values()]
+    average_local_variance = float(np.mean(local_variances)) if local_variances else 0.0
+
+    if average_local_variance == 0.0:
+        return float("inf") if global_variance > 0 else 1.0
+    return global_variance / average_local_variance
+
+
+def frequency_skew_summary(stream: GraphStream) -> Tuple[float, float, float]:
+    """Return ``(mean, p99, max)`` of distinct-edge frequencies.
+
+    A convenience diagnostic used by dataset tests to verify that generated
+    streams are heavy-tailed (the global-heterogeneity property of
+    Section 3.3).
+    """
+    values = np.array(list(stream.edge_frequencies().values()), dtype=np.float64)
+    if values.size == 0:
+        raise ValueError("cannot summarize an empty stream")
+    return float(values.mean()), float(np.percentile(values, 99)), float(values.max())

@@ -1,0 +1,164 @@
+"""The :class:`GraphStream` container.
+
+A graph stream is conceptually unbounded; for reproduction experiments we
+materialize finite streams in memory so that ground-truth frequencies can be
+computed for evaluation.  The class supports iteration in arrival order,
+exact frequency aggregation (the evaluation oracle), vertex/edge census
+queries, time-window slicing, and convenient constructors.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.edge import EdgeKey, StreamEdge
+
+
+class GraphStream:
+    """A finite, materialized graph stream in arrival order.
+
+    Args:
+        edges: stream elements.  They are stored in the given order, which is
+            interpreted as arrival order.
+        name: optional human-readable name used in experiment reports.
+    """
+
+    def __init__(self, edges: Iterable[StreamEdge], name: str = "stream") -> None:
+        self._edges: List[StreamEdge] = [
+            e if isinstance(e, StreamEdge) else StreamEdge(*e) for e in edges
+        ]
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_pairs(
+        cls,
+        pairs: Iterable[Tuple[Hashable, Hashable]],
+        name: str = "stream",
+    ) -> "GraphStream":
+        """Build a stream from bare ``(source, target)`` pairs.
+
+        Time-stamps are assigned by arrival index and all frequencies are 1.
+        """
+        edges = [
+            StreamEdge(source, target, timestamp=float(i), frequency=1.0)
+            for i, (source, target) in enumerate(pairs)
+        ]
+        return cls(edges, name=name)
+
+    @classmethod
+    def from_tuples(
+        cls,
+        tuples: Iterable[Tuple[Hashable, Hashable, float, float]],
+        name: str = "stream",
+    ) -> "GraphStream":
+        """Build a stream from ``(source, target, timestamp, frequency)`` tuples."""
+        return cls((StreamEdge(*t) for t in tuples), name=name)
+
+    # ------------------------------------------------------------------ #
+    # Basic protocol
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[StreamEdge]:
+        return iter(self._edges)
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __getitem__(self, index: int) -> StreamEdge:
+        return self._edges[index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphStream(name={self.name!r}, elements={len(self._edges)})"
+
+    # ------------------------------------------------------------------ #
+    # Census / aggregation
+    # ------------------------------------------------------------------ #
+    def edge_frequencies(self) -> Dict[EdgeKey, float]:
+        """Exact aggregate frequency of every distinct directed edge.
+
+        This is the ground truth ``f(x, y)`` that sketches estimate; it is only
+        computable because experiment streams are materialized.
+        """
+        totals: Dict[EdgeKey, float] = {}
+        for edge in self._edges:
+            key = edge.key
+            totals[key] = totals.get(key, 0.0) + edge.frequency
+        return totals
+
+    def distinct_edges(self) -> Set[EdgeKey]:
+        """The set of distinct directed edges occurring in the stream."""
+        return {edge.key for edge in self._edges}
+
+    def vertices(self) -> Set[Hashable]:
+        """All vertex labels occurring as a source or a target."""
+        result: Set[Hashable] = set()
+        for edge in self._edges:
+            result.add(edge.source)
+            result.add(edge.target)
+        return result
+
+    def source_vertices(self) -> Set[Hashable]:
+        """All vertex labels occurring as a source."""
+        return {edge.source for edge in self._edges}
+
+    def total_frequency(self) -> float:
+        """Total frequency mass of the stream (``N`` of Equation 1)."""
+        return float(sum(edge.frequency for edge in self._edges))
+
+    def out_degrees(self) -> Dict[Hashable, int]:
+        """Number of *distinct* out-edges per source vertex (Equation 3)."""
+        neighbours: Dict[Hashable, Set[Hashable]] = {}
+        for edge in self._edges:
+            neighbours.setdefault(edge.source, set()).add(edge.target)
+        return {v: len(targets) for v, targets in neighbours.items()}
+
+    def vertex_frequencies(self) -> Dict[Hashable, float]:
+        """Total frequency of edges emanating from each source vertex (Equation 2)."""
+        totals: Dict[Hashable, float] = {}
+        for edge in self._edges:
+            totals[edge.source] = totals.get(edge.source, 0.0) + edge.frequency
+        return totals
+
+    def element_multiplicities(self) -> Counter:
+        """Multiset of edge keys counted by stream *elements* (not frequency mass)."""
+        return Counter(edge.key for edge in self._edges)
+
+    # ------------------------------------------------------------------ #
+    # Slicing
+    # ------------------------------------------------------------------ #
+    def time_window(self, start: float, end: float, name: Optional[str] = None) -> "GraphStream":
+        """Elements with ``start <= timestamp < end``, preserving arrival order."""
+        if end < start:
+            raise ValueError(f"window end ({end}) must not precede start ({start})")
+        window_name = name if name is not None else f"{self.name}[{start},{end})"
+        return GraphStream(
+            (e for e in self._edges if start <= e.timestamp < end), name=window_name
+        )
+
+    def prefix(self, count: int, name: Optional[str] = None) -> "GraphStream":
+        """The first ``count`` elements of the stream."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        prefix_name = name if name is not None else f"{self.name}[:{count}]"
+        return GraphStream(self._edges[:count], name=prefix_name)
+
+    def suffix(self, start: int, name: Optional[str] = None) -> "GraphStream":
+        """Elements from index ``start`` onward."""
+        if start < 0:
+            raise ValueError(f"start must be >= 0, got {start}")
+        suffix_name = name if name is not None else f"{self.name}[{start}:]"
+        return GraphStream(self._edges[start:], name=suffix_name)
+
+    def timestamp_range(self) -> Tuple[float, float]:
+        """``(min, max)`` timestamps; raises ``ValueError`` on an empty stream."""
+        if not self._edges:
+            raise ValueError("cannot compute the timestamp range of an empty stream")
+        timestamps = [e.timestamp for e in self._edges]
+        return min(timestamps), max(timestamps)
+
+    def edges(self) -> Sequence[StreamEdge]:
+        """The underlying (immutable by convention) list of stream elements."""
+        return self._edges

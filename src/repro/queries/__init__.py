@@ -1,0 +1,39 @@
+"""Query model, workload generation and estimation-accuracy metrics."""
+
+from repro.queries.aggregate import AGGREGATES, AggregateFunction, get_aggregate
+from repro.queries.edge_query import EdgeQuery
+from repro.queries.evaluation import (
+    EvaluationResult,
+    average_relative_error,
+    effective_query_count,
+    evaluate_edge_queries,
+    evaluate_subgraph_queries,
+    relative_error,
+)
+from repro.queries.subgraph_query import SubgraphQuery
+from repro.queries.workload import (
+    QueryWorkload,
+    bfs_subgraph_queries,
+    uniform_edge_queries,
+    zipf_edge_queries,
+    zipf_subgraph_queries,
+)
+
+__all__ = [
+    "AGGREGATES",
+    "AggregateFunction",
+    "EdgeQuery",
+    "EvaluationResult",
+    "QueryWorkload",
+    "SubgraphQuery",
+    "average_relative_error",
+    "bfs_subgraph_queries",
+    "effective_query_count",
+    "evaluate_edge_queries",
+    "evaluate_subgraph_queries",
+    "get_aggregate",
+    "relative_error",
+    "uniform_edge_queries",
+    "zipf_edge_queries",
+    "zipf_subgraph_queries",
+]

@@ -1,0 +1,60 @@
+"""Aggregate functions Γ(·) for subgraph queries.
+
+The paper defines aggregate subgraph queries as
+``f̃(G) = Γ(f̃(x1,y1), ..., f̃(xk,yk))`` where Γ is an aggregate of interest
+such as SUM, MIN or AVERAGE (Section 3.1).  The experiments use SUM
+(Section 6.2); this module provides the standard set plus MAX so users can
+extend.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+#: Signature of an aggregate function: a sequence of edge frequencies -> scalar.
+AggregateFunction = Callable[[Sequence[float]], float]
+
+
+def _sum(values: Sequence[float]) -> float:
+    return float(sum(values))
+
+
+def _minimum(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("MIN aggregate requires at least one value")
+    return float(min(values))
+
+
+def _maximum(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("MAX aggregate requires at least one value")
+    return float(max(values))
+
+
+def _average(values: Sequence[float]) -> float:
+    if not values:
+        raise ValueError("AVERAGE aggregate requires at least one value")
+    return float(sum(values) / len(values))
+
+
+AGGREGATES: Dict[str, AggregateFunction] = {
+    "sum": _sum,
+    "min": _minimum,
+    "max": _maximum,
+    "average": _average,
+}
+
+
+def get_aggregate(name: str) -> AggregateFunction:
+    """Look up an aggregate function by case-insensitive name.
+
+    Raises:
+        KeyError: if ``name`` is not one of ``sum``, ``min``, ``max``,
+            ``average``.
+    """
+    key = name.strip().lower()
+    if key not in AGGREGATES:
+        raise KeyError(
+            f"unknown aggregate {name!r}; available: {sorted(AGGREGATES)}"
+        )
+    return AGGREGATES[key]

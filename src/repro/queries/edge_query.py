@@ -1,0 +1,39 @@
+"""Edge queries.
+
+An edge query asks for the total frequency of a single directed edge over the
+lifetime of the stream (or a time window of interest): Section 3.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Optional, Tuple
+
+from repro.graph.edge import EdgeKey
+
+
+@dataclass(frozen=True)
+class EdgeQuery:
+    """A query for the aggregate frequency of the directed edge ``(source, target)``.
+
+    Attributes:
+        source: source vertex label.
+        target: target vertex label.
+        window: optional ``(start, end)`` time window of interest; ``None``
+            means the lifetime of the stream.
+    """
+
+    source: Hashable
+    target: Hashable
+    window: Optional[Tuple[float, float]] = None
+
+    @property
+    def key(self) -> EdgeKey:
+        """The ``(source, target)`` edge key this query targets."""
+        return (self.source, self.target)
+
+    @classmethod
+    def from_key(cls, key: EdgeKey, window: Optional[Tuple[float, float]] = None) -> "EdgeQuery":
+        """Build a query from an edge key."""
+        source, target = key
+        return cls(source=source, target=target, window=window)

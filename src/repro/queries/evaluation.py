@@ -1,0 +1,164 @@
+"""Estimation-accuracy metrics.
+
+Section 6.2 defines two measures over an edge query set ``Q_e``:
+
+* **Average relative error** (Equations 12–13):
+  ``e_r(q) = f̃(q)/f(q) - 1`` averaged over all queries.
+* **Number of effective queries** (Equation 14): the number of queries whose
+  relative error does not exceed a threshold ``G0`` (5 by default).
+
+Subgraph queries use the analogous relative error on the aggregated value
+(Equation 15).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Sequence
+
+from repro.graph.edge import EdgeKey
+from repro.queries.edge_query import EdgeQuery
+from repro.queries.subgraph_query import SubgraphQuery
+from repro.utils.validation import require_non_negative
+
+#: Default effectiveness threshold ``G0`` (Section 6.2).
+DEFAULT_EFFECTIVENESS_THRESHOLD = 5.0
+
+
+def relative_error(estimate: float, truth: float) -> float:
+    """``estimate / truth - 1`` (Equation 12).
+
+    True frequencies of queried edges are positive by construction (queries
+    are sampled from the stream); a zero truth therefore indicates a
+    mis-specified query and raises.
+    """
+    if truth <= 0:
+        raise ValueError(f"true frequency must be > 0 to compute a relative error, got {truth}")
+    return estimate / truth - 1.0
+
+
+def average_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
+    """Mean relative error over a query set (Equation 13)."""
+    if len(estimates) != len(truths):
+        raise ValueError("estimates and truths must have the same length")
+    if not estimates:
+        raise ValueError("cannot average over an empty query set")
+    return sum(relative_error(e, t) for e, t in zip(estimates, truths)) / len(estimates)
+
+
+def effective_query_count(
+    estimates: Sequence[float],
+    truths: Sequence[float],
+    threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
+) -> int:
+    """Number of queries with relative error <= ``threshold`` (Equation 14)."""
+    require_non_negative(threshold, "threshold")
+    if len(estimates) != len(truths):
+        raise ValueError("estimates and truths must have the same length")
+    return sum(1 for e, t in zip(estimates, truths) if relative_error(e, t) <= threshold)
+
+
+@dataclass(frozen=True)
+class EvaluationResult:
+    """Accuracy summary of a query set against one estimator.
+
+    Attributes:
+        query_count: number of evaluated queries.
+        average_relative_error: Equation 13.
+        effective_queries: Equation 14 count at ``threshold``.
+        threshold: the ``G0`` used for the effective-query count.
+        max_relative_error: worst per-query relative error (diagnostic).
+    """
+
+    query_count: int
+    average_relative_error: float
+    effective_queries: int
+    threshold: float
+    max_relative_error: float
+
+    @property
+    def effective_fraction(self) -> float:
+        """Fraction of queries that were effective."""
+        if self.query_count == 0:
+            return 0.0
+        return self.effective_queries / self.query_count
+
+
+def summarize_errors(
+    estimates: Sequence[float],
+    truths: Sequence[float],
+    threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
+) -> EvaluationResult:
+    """Build an :class:`EvaluationResult` from parallel estimate/truth lists."""
+    errors = [relative_error(e, t) for e, t in zip(estimates, truths)]
+    if not errors:
+        raise ValueError("cannot evaluate an empty query set")
+    return EvaluationResult(
+        query_count=len(errors),
+        average_relative_error=sum(errors) / len(errors),
+        effective_queries=sum(1 for err in errors if err <= threshold),
+        threshold=threshold,
+        max_relative_error=max(errors),
+    )
+
+
+def evaluate_edge_queries(
+    estimator: Callable[[EdgeKey], float],
+    queries: Sequence[EdgeQuery],
+    true_frequencies: Dict[EdgeKey, float],
+    threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
+) -> EvaluationResult:
+    """Evaluate an edge-query estimator against exact frequencies.
+
+    Args:
+        estimator: maps an edge key to an estimated frequency (e.g.
+            ``gsketch.query_edge``).
+        queries: the edge query set ``Q_e``.
+        true_frequencies: exact frequencies from
+            :meth:`~repro.graph.stream.GraphStream.edge_frequencies`.
+        threshold: the effectiveness threshold ``G0``.
+
+    Queries whose edge never occurred in the stream are rejected (the paper
+    samples queries from the stream, so every query has positive truth).
+    """
+    estimates: List[float] = []
+    truths: List[float] = []
+    for query in queries:
+        truth = true_frequencies.get(query.key, 0.0)
+        if truth <= 0:
+            raise ValueError(
+                f"edge query {query.key!r} does not occur in the stream; "
+                "queries must be sampled from the stream"
+            )
+        estimates.append(estimator(query.key))
+        truths.append(truth)
+    return summarize_errors(estimates, truths, threshold)
+
+
+def evaluate_subgraph_queries(
+    estimator: Callable[[EdgeKey], float],
+    queries: Sequence[SubgraphQuery],
+    true_frequencies: Dict[EdgeKey, float],
+    threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
+) -> EvaluationResult:
+    """Evaluate aggregate subgraph queries (Equation 15).
+
+    Each subgraph is decomposed into constituent edge queries, estimated edge
+    by edge, and recombined with the query's aggregate Γ; the relative error
+    is computed on the aggregated value against the aggregated truth.
+    """
+    estimates: List[float] = []
+    truths: List[float] = []
+    for query in queries:
+        edge_estimates = [estimator(edge) for edge in query.edges]
+        edge_truths = []
+        for edge in query.edges:
+            truth = true_frequencies.get(edge, 0.0)
+            if truth <= 0:
+                raise ValueError(
+                    f"subgraph constituent edge {edge!r} does not occur in the stream"
+                )
+            edge_truths.append(truth)
+        estimates.append(query.combine(edge_estimates))
+        truths.append(query.combine(edge_truths))
+    return summarize_errors(estimates, truths, threshold)

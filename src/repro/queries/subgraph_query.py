@@ -1,0 +1,65 @@
+"""Aggregate subgraph queries.
+
+An aggregate subgraph query is a bag of constituent edges plus an aggregate
+function Γ; it is answered by estimating each constituent edge separately and
+combining the results with Γ (Sections 3.1 and 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Sequence, Set, Tuple
+
+from repro.graph.edge import EdgeKey
+from repro.queries.aggregate import get_aggregate
+from repro.queries.edge_query import EdgeQuery
+
+
+@dataclass(frozen=True)
+class SubgraphQuery:
+    """A query for the aggregate frequency of a subgraph's constituent edges.
+
+    Attributes:
+        edges: the constituent directed edges (a bag: duplicates allowed).
+        aggregate: name of the aggregate function Γ (``sum`` by default, as in
+            the paper's experiments).
+    """
+
+    edges: Tuple[EdgeKey, ...]
+    aggregate: str = "sum"
+
+    def __post_init__(self) -> None:
+        if not self.edges:
+            raise ValueError("a subgraph query needs at least one constituent edge")
+        # Validate the aggregate name eagerly so malformed queries fail at
+        # construction rather than at estimation time.
+        get_aggregate(self.aggregate)
+        object.__setattr__(self, "edges", tuple(tuple(edge) for edge in self.edges))
+
+    @classmethod
+    def from_edges(cls, edges: Sequence[EdgeKey], aggregate: str = "sum") -> "SubgraphQuery":
+        """Build a query from a sequence of ``(source, target)`` keys."""
+        return cls(edges=tuple(edges), aggregate=aggregate)
+
+    def edge_queries(self) -> Tuple[EdgeQuery, ...]:
+        """Decompose into constituent edge queries (Section 5)."""
+        return tuple(EdgeQuery.from_key(edge) for edge in self.edges)
+
+    def vertices(self) -> Set[Hashable]:
+        """The set of vertices touched by the subgraph."""
+        result: Set[Hashable] = set()
+        for source, target in self.edges:
+            result.add(source)
+            result.add(target)
+        return result
+
+    def combine(self, edge_estimates: Sequence[float]) -> float:
+        """Apply Γ to the per-edge estimates."""
+        if len(edge_estimates) != len(self.edges):
+            raise ValueError(
+                f"expected {len(self.edges)} edge estimates, got {len(edge_estimates)}"
+            )
+        return get_aggregate(self.aggregate)(edge_estimates)
+
+    def __len__(self) -> int:
+        return len(self.edges)

@@ -1,0 +1,176 @@
+"""Query set and query-workload generation.
+
+Section 6 generates:
+
+* edge query sets of 10,000 queries by uniform sampling of stream edges
+  (Section 6.3) or Zipf-skewed sampling (Section 6.4);
+* aggregate subgraph query sets whose subgraphs are grown by BFS exploration
+  from uniformly sampled seed vertices, each containing 10 edges
+  (Section 6.3);
+* query *workload samples* (bags of edges used only for partitioning), drawn
+  by Zipf sampling with skewness factor ``alpha``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Sequence, Set, Tuple
+
+from repro.graph.edge import EdgeKey
+from repro.graph.sampling import uniform_edge_sample, zipf_edge_sample
+from repro.graph.stream import GraphStream
+from repro.queries.edge_query import EdgeQuery
+from repro.queries.subgraph_query import SubgraphQuery
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_positive, require_positive_int
+
+
+@dataclass
+class QueryWorkload:
+    """A container of edge queries and/or subgraph queries used by experiments.
+
+    Attributes:
+        edge_queries: the edge query set ``Q_e``.
+        subgraph_queries: the aggregate subgraph query set ``Q_g``.
+        description: free-form provenance string for experiment reports.
+    """
+
+    edge_queries: List[EdgeQuery] = field(default_factory=list)
+    subgraph_queries: List[SubgraphQuery] = field(default_factory=list)
+    description: str = ""
+
+    def __len__(self) -> int:
+        return len(self.edge_queries) + len(self.subgraph_queries)
+
+    def queried_edge_keys(self) -> List[EdgeKey]:
+        """All edge keys referenced by any query (including subgraph constituents)."""
+        keys: List[EdgeKey] = [q.key for q in self.edge_queries]
+        for subgraph in self.subgraph_queries:
+            keys.extend(subgraph.edges)
+        return keys
+
+    def source_vertex_counts(self) -> Dict[Hashable, float]:
+        """How often each source vertex appears across queried edges.
+
+        This is the raw count from which the workload-aware partitioner
+        derives the relative vertex weights ``w̃(n)`` (after Laplace
+        smoothing).
+        """
+        counts: Dict[Hashable, float] = {}
+        for source, _target in self.queried_edge_keys():
+            counts[source] = counts.get(source, 0.0) + 1.0
+        return counts
+
+
+def uniform_edge_queries(
+    stream: GraphStream, count: int, seed: SeedLike = None, distinct: bool = False
+) -> List[EdgeQuery]:
+    """``count`` edge queries drawn uniformly from the graph stream.
+
+    By default queries are sampled uniformly from stream *elements*, i.e. an
+    edge is queried with probability proportional to its frequency — this is
+    the paper's "generated from the original graph stream by uniform
+    sampling" protocol (Section 6.3).  Pass ``distinct=True`` to sample
+    uniformly from the set of distinct edges instead, which weights rare
+    edges much more heavily.
+    """
+    keys = uniform_edge_sample(stream, count, seed=seed, distinct=distinct)
+    return [EdgeQuery.from_key(key) for key in keys]
+
+
+def zipf_edge_queries(
+    stream: GraphStream, count: int, alpha: float, seed: SeedLike = None
+) -> List[EdgeQuery]:
+    """``count`` edge queries drawn by Zipf sampling with skewness ``alpha``."""
+    keys = zipf_edge_sample(stream, count, alpha, seed=seed)
+    return [EdgeQuery.from_key(key) for key in keys]
+
+
+def _adjacency(stream: GraphStream) -> Dict[Hashable, List[Hashable]]:
+    """Directed adjacency lists of the stream's distinct edges."""
+    adjacency: Dict[Hashable, Set[Hashable]] = {}
+    for source, target in stream.distinct_edges():
+        adjacency.setdefault(source, set()).add(target)
+        adjacency.setdefault(target, set())
+    return {vertex: sorted(targets, key=repr) for vertex, targets in adjacency.items()}
+
+
+def bfs_subgraph_queries(
+    stream: GraphStream,
+    count: int,
+    edges_per_subgraph: int = 10,
+    aggregate: str = "sum",
+    seed: SeedLike = None,
+) -> List[SubgraphQuery]:
+    """Subgraph queries grown by randomized BFS from uniform seed vertices.
+
+    Mirrors Section 6.3: a seed vertex is sampled uniformly, then a BFS
+    traversal explores its out-neighbourhood, picking the next edge at random,
+    until ``edges_per_subgraph`` edges are collected.  Seeds whose reachable
+    neighbourhood is too small wrap around by restarting from another seed, so
+    every returned subgraph has exactly ``edges_per_subgraph`` constituent
+    edges (as a bag).
+    """
+    require_positive_int(count, "count")
+    require_positive_int(edges_per_subgraph, "edges_per_subgraph")
+    rng = resolve_rng(seed)
+    adjacency = _adjacency(stream)
+    sources_with_edges = sorted(
+        (v for v, targets in adjacency.items() if targets), key=repr
+    )
+    if not sources_with_edges:
+        raise ValueError("the stream has no edges to build subgraph queries from")
+
+    queries: List[SubgraphQuery] = []
+    for _ in range(count):
+        collected: List[EdgeKey] = []
+        guard = 0
+        while len(collected) < edges_per_subgraph:
+            guard += 1
+            if guard > 100 * edges_per_subgraph:
+                # Pathologically tiny graphs: pad with uniform edges.
+                needed = edges_per_subgraph - len(collected)
+                collected.extend(
+                    uniform_edge_sample(stream, needed, seed=rng, distinct=True)
+                )
+                break
+            seed_vertex = sources_with_edges[int(rng.integers(0, len(sources_with_edges)))]
+            frontier: List[Hashable] = [seed_vertex]
+            visited: Set[Hashable] = {seed_vertex}
+            while frontier and len(collected) < edges_per_subgraph:
+                position = int(rng.integers(0, len(frontier)))
+                vertex = frontier.pop(position)
+                targets = adjacency.get(vertex, [])
+                if not targets:
+                    continue
+                order = rng.permutation(len(targets))
+                for index in order:
+                    target = targets[int(index)]
+                    collected.append((vertex, target))
+                    if target not in visited:
+                        visited.add(target)
+                        frontier.append(target)
+                    if len(collected) >= edges_per_subgraph:
+                        break
+        queries.append(SubgraphQuery.from_edges(collected[:edges_per_subgraph], aggregate))
+    return queries
+
+
+def zipf_subgraph_queries(
+    stream: GraphStream,
+    count: int,
+    alpha: float,
+    edges_per_subgraph: int = 10,
+    aggregate: str = "sum",
+    seed: SeedLike = None,
+) -> List[SubgraphQuery]:
+    """Subgraph queries whose constituent edges are Zipf-sampled (Section 6.4)."""
+    require_positive_int(count, "count")
+    require_positive_int(edges_per_subgraph, "edges_per_subgraph")
+    require_positive(alpha, "alpha")
+    keys = zipf_edge_sample(stream, count * edges_per_subgraph, alpha, seed=seed)
+    queries = []
+    for i in range(count):
+        chunk = keys[i * edges_per_subgraph : (i + 1) * edges_per_subgraph]
+        queries.append(SubgraphQuery.from_edges(chunk, aggregate))
+    return queries

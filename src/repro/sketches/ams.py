@@ -1,0 +1,83 @@
+"""AMS "tug-of-war" sketch (Alon, Matias & Szegedy, 1996).
+
+Reference [5] of the paper.  Primarily a second-frequency-moment (F2) and
+join-size estimator; also answers point queries by averaging signed products,
+which is how the prior sketch-partitioning work for join-size estimation [17]
+uses it.  Included as a related-work substrate and for the ablation comparing
+synopsis families.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.sketches.base import FrequencySketch
+from repro.sketches.hashing import SignHashFamily, key_to_uint64
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+class AMSSketch(FrequencySketch):
+    """An AMS sketch with ``depth`` groups of ``width`` atomic counters.
+
+    Each atomic counter maintains ``sum_k f_k * s(k)`` for an independent ±1
+    hash ``s``.  F2 is estimated by the median over groups of the mean of
+    squared counters; a point query for key ``k`` is the median over groups of
+    the mean of ``s(k) * counter``.
+    """
+
+    def __init__(self, width: int, depth: int, seed: SeedLike = None) -> None:
+        self._width = require_positive_int(width, "width")
+        self._depth = require_positive_int(depth, "depth")
+        rng = resolve_rng(seed)
+        # depth groups x width atomic sketches, each with its own sign family.
+        self._sign_families = [
+            [SignHashFamily(1, seed=rng) for _ in range(self._width)]
+            for _ in range(self._depth)
+        ]
+        self._counters = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._total = 0.0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total_count(self) -> float:
+        return self._total
+
+    @property
+    def memory_cells(self) -> int:
+        return self._width * self._depth
+
+    def _signs_for(self, key_uint64: int) -> np.ndarray:
+        signs = np.empty((self._depth, self._width), dtype=np.float64)
+        for group in range(self._depth):
+            for atom in range(self._width):
+                signs[group, atom] = self._sign_families[group][atom].signs_for_uint64(
+                    key_uint64
+                )[0]
+        return signs
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        count = require_non_negative(count, "count")
+        signs = self._signs_for(key_to_uint64(key))
+        self._counters += signs * count
+        self._total += count
+
+    def estimate(self, key: Hashable) -> float:
+        """Point query: median over groups of the mean signed counter."""
+        signs = self._signs_for(key_to_uint64(key))
+        per_group = (signs * self._counters).mean(axis=1)
+        return float(np.median(per_group))
+
+    def second_moment(self) -> float:
+        """Estimate F2, the sum of squared key frequencies."""
+        per_group = (self._counters**2).mean(axis=1)
+        return float(np.median(per_group))

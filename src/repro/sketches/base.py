@@ -1,0 +1,44 @@
+"""Abstract interface shared by all frequency synopses."""
+
+from __future__ import annotations
+
+import abc
+from typing import Hashable
+
+
+class FrequencySketch(abc.ABC):
+    """A bounded-memory synopsis supporting frequency updates and point queries.
+
+    All sketches in this package observe a stream of ``(key, count)`` updates
+    with non-negative counts and answer point queries ``estimate(key)``.  The
+    estimate semantics (one-sided overestimate for Count-Min, unbiased for
+    Count sketch, support-thresholded for Lossy Counting, ...) are documented
+    by each concrete class.
+    """
+
+    @abc.abstractmethod
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        """Record ``count`` additional occurrences of ``key``."""
+
+    @abc.abstractmethod
+    def estimate(self, key: Hashable) -> float:
+        """Return the estimated total frequency of ``key``."""
+
+    @property
+    @abc.abstractmethod
+    def total_count(self) -> float:
+        """Total frequency mass observed so far (the ``N`` of Equation 1)."""
+
+    @property
+    @abc.abstractmethod
+    def memory_cells(self) -> int:
+        """Number of counter cells the sketch allocates."""
+
+    def memory_bytes(self, cell_bytes: int = 4) -> float:
+        """Approximate memory footprint assuming ``cell_bytes`` per counter.
+
+        The paper's memory axis (512 KB ... 2 GB) refers to 4-byte C++
+        counters; this helper converts a cell budget back into bytes so the
+        experiment harness can report comparable axes.
+        """
+        return float(self.memory_cells * cell_bytes)

@@ -1,0 +1,101 @@
+"""Bottom-k (min-hash) sketch (Cohen & Kaplan, 2008).
+
+Reference [11] of the paper: keeps the ``k`` keys with the smallest hash
+values, which yields an unbiased estimator of the number of distinct keys and
+a uniform-without-replacement sample of the key population.  gSketch does not
+use Bottom-k directly, but the experiment harness uses it to characterize the
+distinct-edge universe of a stream sample, and it completes the related-work
+substrate inventory.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+from repro.sketches.base import FrequencySketch
+from repro.sketches.hashing import key_to_uint64, _splitmix64
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_non_negative, require_positive_int
+
+_MAX_UINT64 = float(2**64)
+
+
+class BottomKSketch(FrequencySketch):
+    """Bottom-k sample of the distinct keys of a stream.
+
+    The sketch stores, for each of the ``k`` retained keys, the total
+    frequency observed *while the key was retained*; frequencies are exact for
+    keys that entered the sample at their first occurrence (which is the case
+    for every retained key because membership is decided by the key hash, not
+    by arrival order).
+    """
+
+    def __init__(self, k: int, seed: SeedLike = None) -> None:
+        self._k = require_positive_int(k, "k")
+        rng = resolve_rng(seed)
+        self._salt = int(rng.integers(0, 2**63 - 1))
+        self._hashes: Dict[Hashable, int] = {}
+        self._counts: Dict[Hashable, float] = {}
+        self._threshold: int | None = None
+        self._total = 0.0
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    @property
+    def total_count(self) -> float:
+        return self._total
+
+    @property
+    def memory_cells(self) -> int:
+        return len(self._hashes)
+
+    def _hash(self, key: Hashable) -> int:
+        return _splitmix64(key_to_uint64(key) ^ self._salt)
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        count = require_non_negative(count, "count")
+        self._total += count
+        value = self._hash(key)
+        if key in self._hashes:
+            self._counts[key] += count
+            return
+        if len(self._hashes) < self._k:
+            self._hashes[key] = value
+            self._counts[key] = count
+            self._refresh_threshold()
+            return
+        assert self._threshold is not None
+        if value < self._threshold:
+            # Evict the key with the current largest hash.
+            evict = max(self._hashes, key=self._hashes.__getitem__)
+            del self._hashes[evict]
+            del self._counts[evict]
+            self._hashes[key] = value
+            self._counts[key] = count
+            self._refresh_threshold()
+
+    def _refresh_threshold(self) -> None:
+        if len(self._hashes) >= self._k:
+            self._threshold = max(self._hashes.values())
+        else:
+            self._threshold = None
+
+    def estimate(self, key: Hashable) -> float:
+        """Frequency of ``key`` if it is retained in the sample, else 0."""
+        return self._counts.get(key, 0.0)
+
+    def sample_keys(self) -> List[Hashable]:
+        """The retained keys, sorted by hash value (smallest first)."""
+        return sorted(self._hashes, key=self._hashes.__getitem__)
+
+    def distinct_count_estimate(self) -> float:
+        """Unbiased estimate of the number of distinct keys observed."""
+        if len(self._hashes) < self._k:
+            return float(len(self._hashes))
+        assert self._threshold is not None
+        kth_normalized = self._threshold / _MAX_UINT64
+        if kth_normalized <= 0.0:
+            return float(len(self._hashes))
+        return (self._k - 1) / kth_normalized

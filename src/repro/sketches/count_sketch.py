@@ -1,0 +1,68 @@
+"""Count sketch (Charikar, Chen & Farach-Colton).
+
+A signed variant of Count-Min whose point estimate is the *median* of signed
+counters rather than the minimum of unsigned ones.  Unlike Count-Min the
+estimate is unbiased (it can under- as well as over-estimate).  gSketch's
+partitioning is agnostic to which synopsis backs each partition, and the test
+suite uses this class to exercise that generality.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable
+
+import numpy as np
+
+from repro.sketches.base import FrequencySketch
+from repro.sketches.hashing import PairwiseHashFamily, SignHashFamily, key_to_uint64
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_non_negative, require_positive_int
+
+
+class CountSketch(FrequencySketch):
+    """A ``depth x width`` Count sketch with median-of-signed-counters estimates."""
+
+    def __init__(self, width: int, depth: int, seed: SeedLike = None) -> None:
+        self._width = require_positive_int(width, "width")
+        self._depth = require_positive_int(depth, "depth")
+        rng = resolve_rng(seed)
+        self._hashes = PairwiseHashFamily(self._depth, self._width, seed=rng)
+        self._signs = SignHashFamily(self._depth, seed=rng)
+        self._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._rows = np.arange(self._depth)
+        self._total = 0.0
+
+    @property
+    def width(self) -> int:
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        return self._depth
+
+    @property
+    def total_count(self) -> float:
+        return self._total
+
+    @property
+    def memory_cells(self) -> int:
+        return self._width * self._depth
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        count = require_non_negative(count, "count")
+        value = key_to_uint64(key)
+        cols = self._hashes.indices_for_uint64(value)
+        signs = self._signs.signs_for_uint64(value)
+        self._table[self._rows, cols] += signs * count
+        self._total += count
+
+    def estimate(self, key: Hashable) -> float:
+        value = key_to_uint64(key)
+        cols = self._hashes.indices_for_uint64(value)
+        signs = self._signs.signs_for_uint64(value)
+        estimates = signs * self._table[self._rows, cols]
+        return float(np.median(estimates))
+
+    def estimate_non_negative(self, key: Hashable) -> float:
+        """Median estimate clamped at zero, for non-negative frequency streams."""
+        return max(0.0, self.estimate(key))

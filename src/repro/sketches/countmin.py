@@ -1,0 +1,271 @@
+"""Count-Min sketch (Cormode & Muthukrishnan, 2005).
+
+This is the synopsis that both the Global Sketch baseline and every localized
+gSketch partition are built from (paper Section 3.2 and Figure 1).  With width
+``w = ceil(e / epsilon)`` and depth ``d = ceil(ln(1 / delta))``, a point query
+is overestimated by at most ``e * N / w`` with probability at least
+``1 - e^-d`` (Equation 1), where ``N`` is the total frequency mass inserted.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.sketches.base import FrequencySketch
+from repro.sketches.hashing import PairwiseHashFamily, key_to_uint64
+from repro.utils.rng import SeedLike
+from repro.utils.validation import (
+    require_non_negative,
+    require_positive_int,
+    require_probability,
+)
+
+
+class CountMinSketch(FrequencySketch):
+    """A ``depth x width`` Count-Min sketch over arbitrary hashable keys.
+
+    Args:
+        width: number of counters per row (``w`` in the paper).
+        depth: number of rows / independent hash functions (``d``).
+        seed: seed for drawing the hash family.
+        conservative: if ``True``, use conservative update (only raise the
+            cells that currently equal the minimum), a standard variance
+            reduction that never breaks the one-sided error guarantee.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        depth: int,
+        seed: SeedLike = None,
+        conservative: bool = False,
+    ) -> None:
+        self._width = require_positive_int(width, "width")
+        self._depth = require_positive_int(depth, "depth")
+        self._conservative = bool(conservative)
+        self._hashes = PairwiseHashFamily(self._depth, self._width, seed=seed)
+        self._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        self._rows = np.arange(self._depth)
+        self._total = 0.0
+        self._update_count = 0
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_error_guarantees(
+        cls,
+        epsilon: float,
+        delta: float,
+        seed: SeedLike = None,
+        conservative: bool = False,
+    ) -> "CountMinSketch":
+        """Build a sketch with ``w = ceil(e/epsilon)`` and ``d = ceil(ln(1/delta))``."""
+        require_probability(delta, "delta")
+        if epsilon <= 0:
+            raise ValueError(f"epsilon must be > 0, got {epsilon!r}")
+        width = int(math.ceil(math.e / float(epsilon)))
+        depth = max(1, int(math.ceil(math.log(1.0 / float(delta)))))
+        return cls(width=width, depth=depth, seed=seed, conservative=conservative)
+
+    @classmethod
+    def from_memory_cells(
+        cls,
+        total_cells: int,
+        depth: int,
+        seed: SeedLike = None,
+        conservative: bool = False,
+    ) -> "CountMinSketch":
+        """Build the widest sketch of the given ``depth`` using ``total_cells`` counters."""
+        require_positive_int(total_cells, "total_cells")
+        require_positive_int(depth, "depth")
+        width = max(1, total_cells // depth)
+        return cls(width=width, depth=depth, seed=seed, conservative=conservative)
+
+    # ------------------------------------------------------------------ #
+    # Properties
+    # ------------------------------------------------------------------ #
+    @property
+    def width(self) -> int:
+        """Number of counters per row."""
+        return self._width
+
+    @property
+    def depth(self) -> int:
+        """Number of rows (independent hash functions)."""
+        return self._depth
+
+    @property
+    def total_count(self) -> float:
+        """Total frequency mass inserted so far (``N`` in Equation 1)."""
+        return self._total
+
+    @property
+    def update_count(self) -> int:
+        """Number of individual update operations applied."""
+        return self._update_count
+
+    @property
+    def memory_cells(self) -> int:
+        return self._width * self._depth
+
+    @property
+    def table(self) -> np.ndarray:
+        """A read-only view of the counter table (used by tests)."""
+        view = self._table.view()
+        view.setflags(write=False)
+        return view
+
+    # ------------------------------------------------------------------ #
+    # Updates
+    # ------------------------------------------------------------------ #
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        """Add ``count`` occurrences of ``key`` to the sketch."""
+        count = require_non_negative(count, "count")
+        cols = self._hashes.indices_for_uint64(key_to_uint64(key))
+        if self._conservative:
+            current = self._table[self._rows, cols]
+            new_min = current.min() + count
+            np.maximum(current, new_min, out=current)
+            self._table[self._rows, cols] = current
+        else:
+            self._table[self._rows, cols] += count
+        self._total += count
+        self._update_count += 1
+
+    def update_precomputed(self, key_uint64: int, count: float = 1.0) -> None:
+        """Update using an already-canonicalized 64-bit key (hot path)."""
+        cols = self._hashes.indices_for_uint64(key_uint64)
+        if self._conservative:
+            current = self._table[self._rows, cols]
+            new_min = current.min() + count
+            np.maximum(current, new_min, out=current)
+            self._table[self._rows, cols] = current
+        else:
+            self._table[self._rows, cols] += count
+        self._total += count
+        self._update_count += 1
+
+    def update_batch(
+        self, keys_uint64: Sequence[int] | np.ndarray, counts: Sequence[float] | np.ndarray
+    ) -> None:
+        """Vectorized bulk update for pre-canonicalized keys.
+
+        Conservative update is inherently sequential, so batches fall back to
+        per-key updates when ``conservative=True``.
+        """
+        keys_arr = np.asarray(keys_uint64, dtype=np.uint64)
+        counts_arr = np.asarray(counts, dtype=np.float64)
+        if keys_arr.shape != counts_arr.shape:
+            raise ValueError("keys and counts must have the same length")
+        if keys_arr.size == 0:
+            return
+        if np.any(counts_arr < 0):
+            raise ValueError("counts must be non-negative")
+        if self._conservative:
+            for key, count in zip(keys_arr.tolist(), counts_arr.tolist()):
+                self.update_precomputed(int(key), float(count))
+            return
+        cols = self._hashes.indices_batch(keys_arr)
+        for row in range(self._depth):
+            np.add.at(self._table[row], cols[row], counts_arr)
+        self._total += float(counts_arr.sum())
+        self._update_count += int(keys_arr.size)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def estimate(self, key: Hashable) -> float:
+        """Return ``min`` over rows of the hashed cells (one-sided overestimate)."""
+        cols = self._hashes.indices_for_uint64(key_to_uint64(key))
+        return float(self._table[self._rows, cols].min())
+
+    def estimate_precomputed(self, key_uint64: int) -> float:
+        """Point query for an already-canonicalized 64-bit key."""
+        cols = self._hashes.indices_for_uint64(key_uint64)
+        return float(self._table[self._rows, cols].min())
+
+    def estimate_batch(self, keys_uint64: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized point queries for pre-canonicalized keys."""
+        keys_arr = np.asarray(keys_uint64, dtype=np.uint64)
+        if keys_arr.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        cols = self._hashes.indices_batch(keys_arr)
+        stacked = np.empty((self._depth, keys_arr.size), dtype=np.float64)
+        for row in range(self._depth):
+            stacked[row] = self._table[row, cols[row]]
+        return stacked.min(axis=0)
+
+    def error_bound(self) -> float:
+        """The additive error ``e * N / w`` that holds with probability ``1 - e^-d``."""
+        return math.e * self._total / self._width
+
+    def failure_probability(self) -> float:
+        """Probability ``e^-d`` that a point query exceeds :meth:`error_bound`."""
+        return math.exp(-self._depth)
+
+    def inner_product(self, other: "CountMinSketch") -> float:
+        """Estimate the inner product of the two underlying frequency vectors.
+
+        Both sketches must share dimensions and hash seeds (i.e. be built via
+        :meth:`compatible_empty`).
+        """
+        if (self._width, self._depth) != (other._width, other._depth):
+            raise ValueError("sketches must share width and depth for inner product")
+        products = (self._table * other._table).sum(axis=1)
+        return float(products.min())
+
+    # ------------------------------------------------------------------ #
+    # Structural operations
+    # ------------------------------------------------------------------ #
+    def merge(self, other: "CountMinSketch") -> None:
+        """Add ``other``'s counters into this sketch (requires identical hashing)."""
+        if (self._width, self._depth) != (other._width, other._depth):
+            raise ValueError("cannot merge sketches with different dimensions")
+        for (a1, b1), (a2, b2) in zip(self._hashes.coefficients(), other._hashes.coefficients()):
+            if (a1, b1) != (a2, b2):
+                raise ValueError("cannot merge sketches built from different hash families")
+        self._table += other._table
+        self._total += other._total
+        self._update_count += other._update_count
+
+    def compatible_empty(self) -> "CountMinSketch":
+        """Return an empty sketch sharing this sketch's dimensions and hash family."""
+        clone = CountMinSketch.__new__(CountMinSketch)
+        clone._width = self._width
+        clone._depth = self._depth
+        clone._conservative = self._conservative
+        clone._hashes = self._hashes
+        clone._table = np.zeros((self._depth, self._width), dtype=np.float64)
+        clone._rows = self._rows
+        clone._total = 0.0
+        clone._update_count = 0
+        return clone
+
+    def observed_collision_rate(self, keys: Iterable[Hashable]) -> float:
+        """Fraction of the given keys whose estimate exceeds zero pre-insertion cells.
+
+        Diagnostic helper used by tests of Theorem 1: for an *empty* sketch it
+        always returns 0; after insertion it reports the fraction of keys whose
+        minimum cell is shared with at least one other inserted key.
+        """
+        keys = list(keys)
+        if not keys:
+            return 0.0
+        exact_once = {}
+        for key in keys:
+            exact_once[key] = exact_once.get(key, 0) + 1
+        collided = 0
+        for key, multiplicity in exact_once.items():
+            if self.estimate(key) > multiplicity:
+                collided += 1
+        return collided / len(exact_once)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CountMinSketch(width={self._width}, depth={self._depth}, "
+            f"total={self._total:.1f}, conservative={self._conservative})"
+        )

@@ -1,0 +1,53 @@
+"""Exact dictionary counter.
+
+The ground-truth oracle used by the test suite and the experiment harness to
+compute true edge frequencies, relative errors and effective-query counts.  It
+implements the same :class:`~repro.sketches.base.FrequencySketch` interface so
+it can be swapped in anywhere an approximate sketch is accepted.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterator, Tuple
+
+from repro.sketches.base import FrequencySketch
+from repro.utils.validation import require_non_negative
+
+
+class ExactCounter(FrequencySketch):
+    """Exact frequency counter backed by a dictionary."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[Hashable, float] = {}
+        self._total = 0.0
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        count = require_non_negative(count, "count")
+        self._counts[key] = self._counts.get(key, 0.0) + count
+        self._total += count
+
+    def estimate(self, key: Hashable) -> float:
+        return self._counts.get(key, 0.0)
+
+    @property
+    def total_count(self) -> float:
+        return self._total
+
+    @property
+    def memory_cells(self) -> int:
+        return len(self._counts)
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._counts
+
+    def items(self) -> Iterator[Tuple[Hashable, float]]:
+        """Iterate over ``(key, exact frequency)`` pairs."""
+        return iter(self._counts.items())
+
+    def heavy_hitters(self, threshold: float) -> Dict[Hashable, float]:
+        """Return all keys whose exact frequency is at least ``threshold``."""
+        require_non_negative(threshold, "threshold")
+        return {k: v for k, v in self._counts.items() if v >= threshold}

@@ -1,0 +1,152 @@
+"""Pairwise-independent hash families.
+
+All sketches in this package hash arbitrary stream keys (edges, vertex labels,
+strings) into counter cells.  Keys are first canonicalized to an unsigned
+64-bit integer by :func:`key_to_uint64`, then mapped into ``[0, width)`` by a
+Carter–Wegman family ``h(x) = ((a * x + b) mod p) mod width`` over the
+Mersenne prime ``p = 2^61 - 1``.  Each row of a sketch draws an independent
+``(a, b)`` pair, which yields the pairwise independence required by the
+Count-Min analysis (paper Section 3.2) and by Theorem 1's collision bound.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Hashable, Iterable, Sequence
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, resolve_rng
+from repro.utils.validation import require_positive_int
+
+#: Mersenne prime 2^61 - 1, large enough to treat 64-bit key mixes as field
+#: elements with negligible wrap-around bias.
+MERSENNE_PRIME_61 = (1 << 61) - 1
+
+_GOLDEN_GAMMA = 0x9E3779B97F4A7C15
+
+
+def _splitmix64(value: int) -> int:
+    """Finalize a 64-bit integer with the splitmix64 mixing function."""
+    value = (value + _GOLDEN_GAMMA) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return value ^ (value >> 31)
+
+
+def key_to_uint64(key: Hashable) -> int:
+    """Canonicalize an arbitrary stream key to an unsigned 64-bit integer.
+
+    The mapping is deterministic across processes (unlike built-in ``hash``,
+    which is salted for strings), so sketches populated in different runs of
+    the library agree on cell placement.
+
+    Supported key types:
+
+    * integers (mixed through splitmix64),
+    * strings and bytes (BLAKE2b digest),
+    * tuples of supported keys (combined with a polynomial rolling mix).
+    """
+    if isinstance(key, bool):
+        return _splitmix64(int(key))
+    if isinstance(key, (int, np.integer)):
+        return _splitmix64(int(key) & 0xFFFFFFFFFFFFFFFF)
+    if isinstance(key, bytes):
+        digest = hashlib.blake2b(key, digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    if isinstance(key, str):
+        digest = hashlib.blake2b(key.encode("utf-8"), digest_size=8).digest()
+        return int.from_bytes(digest, "little")
+    if isinstance(key, tuple):
+        acc = 0x9E3779B97F4A7C15
+        for part in key:
+            acc = _splitmix64(acc ^ key_to_uint64(part))
+        return acc
+    if isinstance(key, float):
+        return _splitmix64(hash(key) & 0xFFFFFFFFFFFFFFFF)
+    raise TypeError(
+        "sketch keys must be int, str, bytes, float or tuples thereof; "
+        f"got {type(key).__name__}"
+    )
+
+
+class PairwiseHashFamily:
+    """A family of ``depth`` pairwise-independent hash functions onto ``[0, width)``.
+
+    Args:
+        depth: number of independent hash functions (sketch rows).
+        width: range of each hash function (sketch columns).
+        seed: seed, generator, or ``None`` used to draw the ``(a, b)``
+            coefficients.
+    """
+
+    def __init__(self, depth: int, width: int, seed: SeedLike = None) -> None:
+        self.depth = require_positive_int(depth, "depth")
+        self.width = require_positive_int(width, "width")
+        rng = resolve_rng(seed)
+        # a must be non-zero in the field; b may be anything in [0, p).
+        self._a = rng.integers(1, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
+        self._b = rng.integers(0, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
+
+    def indices(self, key: Hashable) -> np.ndarray:
+        """Return the ``depth`` cell indices for ``key`` (one per row)."""
+        return self.indices_for_uint64(key_to_uint64(key))
+
+    def indices_for_uint64(self, value: int) -> np.ndarray:
+        """Return cell indices for a pre-canonicalized 64-bit key."""
+        a = self._a.astype(object)
+        b = self._b.astype(object)
+        out = np.empty(self.depth, dtype=np.int64)
+        for row in range(self.depth):
+            out[row] = ((int(a[row]) * value + int(b[row])) % MERSENNE_PRIME_61) % self.width
+        return out
+
+    def indices_batch(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
+        """Vectorized cell indices for many pre-canonicalized keys.
+
+        Args:
+            values: 1-D sequence of unsigned 64-bit key integers.
+
+        Returns:
+            Array of shape ``(depth, len(values))`` with column indices.
+        """
+        vals = np.asarray(values, dtype=np.uint64).astype(object)
+        out = np.empty((self.depth, len(vals)), dtype=np.int64)
+        for row in range(self.depth):
+            a = int(self._a[row])
+            b = int(self._b[row])
+            mixed = (vals * a + b) % MERSENNE_PRIME_61 % self.width
+            out[row, :] = mixed.astype(np.int64)
+        return out
+
+    def coefficients(self) -> Iterable[tuple[int, int]]:
+        """Yield the ``(a, b)`` coefficient pairs (mainly for testing)."""
+        for a, b in zip(self._a.tolist(), self._b.tolist()):
+            yield int(a), int(b)
+
+
+class SignHashFamily:
+    """A family of ``depth`` pairwise-independent ±1 hash functions.
+
+    Used by :class:`~repro.sketches.count_sketch.CountSketch` and
+    :class:`~repro.sketches.ams.AMSSketch`, which need an unbiased sign in
+    addition to a cell index.
+    """
+
+    def __init__(self, depth: int, seed: SeedLike = None) -> None:
+        self.depth = require_positive_int(depth, "depth")
+        rng = resolve_rng(seed)
+        self._a = rng.integers(1, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
+        self._b = rng.integers(0, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
+
+    def signs(self, key: Hashable) -> np.ndarray:
+        """Return the ``depth`` signs (+1 or -1) for ``key``."""
+        return self.signs_for_uint64(key_to_uint64(key))
+
+    def signs_for_uint64(self, value: int) -> np.ndarray:
+        """Return signs for a pre-canonicalized 64-bit key."""
+        out = np.empty(self.depth, dtype=np.int64)
+        for row in range(self.depth):
+            mixed = (int(self._a[row]) * value + int(self._b[row])) % MERSENNE_PRIME_61
+            out[row] = 1 if (mixed & 1) == 1 else -1
+        return out

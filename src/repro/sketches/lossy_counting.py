@@ -1,0 +1,104 @@
+"""Lossy Counting (Manku & Motwani, 2002).
+
+Reference [23] of the paper: a deterministic heavy-hitter synopsis that keeps
+``(key, count, max_error)`` entries and periodically prunes entries whose
+count cannot exceed the error floor of their bucket.  Guarantees:
+
+* no false negatives for keys with true frequency >= ``epsilon * N``;
+* estimated counts under-estimate by at most ``epsilon * N``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Hashable, List, Tuple
+
+from repro.sketches.base import FrequencySketch
+from repro.utils.validation import require_non_negative, require_probability
+
+
+@dataclass
+class _Entry:
+    count: float
+    max_error: float
+
+
+class LossyCounting(FrequencySketch):
+    """Lossy Counting with error parameter ``epsilon``.
+
+    Args:
+        epsilon: per-key frequency error as a fraction of the stream length.
+            The bucket width is ``ceil(1 / epsilon)``.
+    """
+
+    def __init__(self, epsilon: float) -> None:
+        self._epsilon = require_probability(epsilon, "epsilon")
+        self._bucket_width = int(math.ceil(1.0 / self._epsilon))
+        self._entries: Dict[Hashable, _Entry] = {}
+        self._n = 0
+        self._total = 0.0
+        self._current_bucket = 1
+
+    @property
+    def epsilon(self) -> float:
+        return self._epsilon
+
+    @property
+    def bucket_width(self) -> int:
+        return self._bucket_width
+
+    @property
+    def total_count(self) -> float:
+        return self._total
+
+    @property
+    def memory_cells(self) -> int:
+        return len(self._entries)
+
+    def update(self, key: Hashable, count: float = 1.0) -> None:
+        count = require_non_negative(count, "count")
+        if count == 0:
+            return
+        entry = self._entries.get(key)
+        if entry is None:
+            self._entries[key] = _Entry(count=count, max_error=float(self._current_bucket - 1))
+        else:
+            entry.count += count
+        self._n += 1
+        self._total += count
+        if self._n % self._bucket_width == 0:
+            self._prune()
+            self._current_bucket += 1
+
+    def _prune(self) -> None:
+        bucket = self._current_bucket
+        stale = [key for key, e in self._entries.items() if e.count + e.max_error <= bucket]
+        for key in stale:
+            del self._entries[key]
+
+    def estimate(self, key: Hashable) -> float:
+        """Lower-bound estimate of the frequency of ``key`` (0 if pruned)."""
+        entry = self._entries.get(key)
+        return entry.count if entry is not None else 0.0
+
+    def upper_bound(self, key: Hashable) -> float:
+        """Upper bound on the frequency of ``key`` (count + bucket error)."""
+        entry = self._entries.get(key)
+        if entry is None:
+            return float(self._current_bucket - 1)
+        return entry.count + entry.max_error
+
+    def frequent_items(self, support: float) -> List[Tuple[Hashable, float]]:
+        """Keys whose estimated frequency is at least ``(support - epsilon) * N``.
+
+        This is the classical Lossy Counting output guarantee: it contains all
+        keys with true frequency >= ``support * N`` and no key with true
+        frequency < ``(support - epsilon) * N``.
+        """
+        require_non_negative(support, "support")
+        threshold = (support - self._epsilon) * self._n
+        return sorted(
+            ((k, e.count) for k, e in self._entries.items() if e.count >= threshold),
+            key=lambda item: -item[1],
+        )

@@ -1,0 +1,21 @@
+"""Shared utilities: argument validation, RNG resolution and timing helpers."""
+
+from repro.utils.rng import resolve_rng
+from repro.utils.timer import Timer
+from repro.utils.validation import (
+    require_in_range,
+    require_non_negative,
+    require_positive,
+    require_positive_int,
+    require_probability,
+)
+
+__all__ = [
+    "Timer",
+    "require_in_range",
+    "require_non_negative",
+    "require_positive",
+    "require_positive_int",
+    "require_probability",
+    "resolve_rng",
+]

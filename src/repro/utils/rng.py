@@ -1,0 +1,46 @@
+"""Random number generator resolution.
+
+All stochastic components of the library (dataset generators, samplers, hash
+seed selection) accept either an integer seed, an existing
+:class:`numpy.random.Generator`, or ``None``.  Funnelling everything through
+:func:`resolve_rng` keeps experiments reproducible end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[int, np.random.Generator, None]
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Args:
+        seed: an integer seed, an existing generator (returned unchanged), or
+            ``None`` for OS-entropy seeding.
+
+    Returns:
+        A numpy ``Generator`` instance.
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng()
+    if isinstance(seed, bool) or not isinstance(seed, (int, np.integer)):
+        raise TypeError(
+            f"seed must be an int, numpy Generator or None, got {type(seed).__name__}"
+        )
+    return np.random.default_rng(int(seed))
+
+
+def spawn_child_rng(rng: np.random.Generator) -> np.random.Generator:
+    """Derive an independent child generator from ``rng``.
+
+    Useful when a single experiment seed must drive several independent
+    stochastic components without accidental stream overlap.
+    """
+    seed = int(rng.integers(0, 2**63 - 1))
+    return np.random.default_rng(seed)

@@ -1,0 +1,43 @@
+"""A small wall-clock timer used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from types import TracebackType
+from typing import Optional, Type
+
+
+class Timer:
+    """Context manager measuring elapsed wall-clock time in seconds.
+
+    Example:
+        >>> with Timer() as t:
+        ...     _ = sum(range(1000))
+        >>> t.elapsed >= 0.0
+        True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self._elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        if self._start is not None:
+            self._elapsed = time.perf_counter() - self._start
+            self._start = None
+
+    @property
+    def elapsed(self) -> float:
+        """Elapsed seconds of the most recently completed timing block."""
+        if self._start is not None:
+            return time.perf_counter() - self._start
+        return self._elapsed
