@@ -31,6 +31,8 @@ from repro.core.config import GSketchConfig
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
 from repro.core.windowed import WindowedGSketch
+from repro.distributed import ShardedGSketch, ShardPlan
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import StreamEdge
 from repro.graph.stream import GraphStream
 from repro.queries.edge_query import EdgeQuery
@@ -41,11 +43,14 @@ __version__ = "1.0.0"
 
 __all__ = [
     "CountMinSketch",
+    "EdgeBatch",
     "EdgeQuery",
     "GSketch",
     "GSketchConfig",
     "GlobalSketch",
     "GraphStream",
+    "ShardPlan",
+    "ShardedGSketch",
     "StreamEdge",
     "SubgraphQuery",
     "WindowedGSketch",

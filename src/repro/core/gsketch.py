@@ -17,22 +17,68 @@ Construction is a two-phase process:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
+from typing import Hashable, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.core.batch_router import BatchRouter
 from repro.core.config import GSketchConfig
 from repro.core.estimator import ConfidenceInterval, countmin_confidence
-from repro.core.partition_tree import PartitionTree
+from repro.core.partition_tree import PartitionLeaf, PartitionTree
 from repro.core.partitioner import build_partition_tree, workload_vertex_weights
 from repro.core.router import OUTLIER_PARTITION, VertexRouter
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.queries.workload import QueryWorkload
 from repro.sketches.countmin import CountMinSketch
-from repro.sketches.hashing import key_to_uint64
+
+#: Default number of elements per block for batched ingestion.
+DEFAULT_BATCH_SIZE = 8192
+
+
+def make_partition_sketch(config: GSketchConfig, leaf: PartitionLeaf) -> CountMinSketch:
+    """The physical sketch of one partition-tree leaf.
+
+    Centralized so that every consumer — :class:`GSketch` and the shards of
+    :class:`~repro.distributed.coordinator.ShardedGSketch` — constructs
+    sketches with identical dimensions and hash seeds, which is what makes
+    sharded and single-process ingestion bit-identical.
+    """
+    return CountMinSketch(
+        width=leaf.width,
+        depth=config.depth,
+        seed=config.seed + leaf.index + 1,
+        conservative=config.conservative_updates,
+    )
+
+
+def make_outlier_sketch(config: GSketchConfig, surplus_width: int) -> CountMinSketch:
+    """The sketch serving vertices absent from the data sample."""
+    return CountMinSketch(
+        width=max(1, config.outlier_width + surplus_width),
+        depth=config.depth,
+        seed=config.seed,
+        conservative=config.conservative_updates,
+    )
+
+
+def chunked_batches(
+    edges: Iterable[StreamEdge], batch_size: int
+) -> Iterable[EdgeBatch]:
+    """Columnarize an arbitrary element iterable in blocks of ``batch_size``."""
+    if batch_size <= 0:
+        raise ValueError(f"batch size must be > 0, got {batch_size}")
+    chunk: List[StreamEdge] = []
+    for edge in edges:
+        chunk.append(edge if isinstance(edge, StreamEdge) else StreamEdge(*edge))
+        if len(chunk) >= batch_size:
+            yield EdgeBatch.from_edges(chunk)
+            chunk = []
+    if chunk:
+        yield EdgeBatch.from_edges(chunk)
 
 
 @dataclass(frozen=True)
@@ -70,23 +116,12 @@ class GSketch:
         self.workload_weights = dict(workload_weights) if workload_weights else None
 
         self._partitions: List[CountMinSketch] = [
-            CountMinSketch(
-                width=leaf.width,
-                depth=config.depth,
-                seed=config.seed + leaf.index + 1,
-                conservative=config.conservative_updates,
-            )
-            for leaf in tree.leaves
+            make_partition_sketch(config, leaf) for leaf in tree.leaves
         ]
-        outlier_width = max(1, config.outlier_width + tree.surplus_width)
-        self._outlier = CountMinSketch(
-            width=outlier_width,
-            depth=config.depth,
-            seed=config.seed,
-            conservative=config.conservative_updates,
-        )
+        self._outlier = make_outlier_sketch(config, tree.surplus_width)
         self._elements_processed = 0
         self._outlier_elements = 0
+        self._batch_router = BatchRouter(router)
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -180,29 +215,47 @@ class GSketch:
         """Record one :class:`~repro.graph.edge.StreamEdge`."""
         self.update(edge.source, edge.target, edge.frequency)
 
-    def process(self, stream: GraphStream | Iterable[StreamEdge]) -> int:
-        """Ingest an entire stream using per-partition batched updates.
+    def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
+        """Ingest one columnar block of stream elements.
 
-        Semantically identical to calling :meth:`update` per element, but
-        hashing and counter increments are vectorized per partition.
-        Returns the number of elements processed.
+        The block is hashed, routed and grouped by destination partition in a
+        single vectorized pass (:class:`~repro.distributed.batch_router.BatchRouter`),
+        then each group lands in its sketch via one
+        :meth:`~repro.sketches.countmin.CountMinSketch.update_batch` call.
+        Because the grouping sort is stable and partitions are independent
+        sketches, the resulting counters are bit-identical to per-edge
+        :meth:`update` calls in arrival order.
+
+        Returns the number of elements ingested.
         """
-        grouped_keys: Dict[int, List[int]] = {}
-        grouped_counts: Dict[int, List[float]] = {}
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch.from_edges(list(batch))
+        routed = self._batch_router.route(batch)
+        for group in routed.groups:
+            self._sketch_for(group.partition).update_batch(group.keys, group.counts)
+        self._elements_processed += routed.num_elements
+        self._outlier_elements += routed.outlier_count
+        return routed.num_elements
+
+    def process(
+        self,
+        stream: GraphStream | Iterable[StreamEdge],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Ingest an entire stream using vectorized batched updates.
+
+        Semantically identical to calling :meth:`update` per element — the
+        counters come out bit-identical — but hashing, routing and counter
+        increments all run as array kernels per block of ``batch_size``
+        elements.  Returns the number of elements processed.
+        """
+        if isinstance(stream, GraphStream):
+            batches: Iterable[EdgeBatch] = stream.iter_batches(batch_size)
+        else:
+            batches = chunked_batches(stream, batch_size)
         processed = 0
-        for element in stream:
-            partition = self.router.partition_of(element.source)
-            grouped_keys.setdefault(partition, []).append(
-                key_to_uint64((element.source, element.target))
-            )
-            grouped_counts.setdefault(partition, []).append(element.frequency)
-            processed += 1
-            if partition == OUTLIER_PARTITION:
-                self._outlier_elements += 1
-        for partition, keys in grouped_keys.items():
-            sketch = self._sketch_for(partition)
-            sketch.update_batch(np.array(keys, dtype=np.uint64), grouped_counts[partition])
-        self._elements_processed += processed
+        for batch in batches:
+            processed += self.ingest_batch(batch)
         return processed
 
     # ------------------------------------------------------------------ #
@@ -215,8 +268,16 @@ class GSketch:
         return sketch.estimate(tuple(edge))
 
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
-        """Estimate many edges at once."""
-        return [self.query_edge(edge) for edge in edges]
+        """Estimate many edges at once (vectorized per partition)."""
+        if len(edges) == 0:
+            return []
+        routed = self._batch_router.route_edges(edges)
+        estimates = np.empty(len(edges), dtype=np.float64)
+        for group in routed.groups:
+            estimates[group.positions] = self._sketch_for(group.partition).estimate_batch(
+                group.keys
+            )
+        return estimates.tolist()
 
     def query_subgraph(self, query: SubgraphQuery) -> float:
         """Estimate an aggregate subgraph query by per-edge decomposition."""

@@ -8,7 +8,9 @@ are routed to the dedicated outlier partition.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping
+from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 #: Sentinel partition index meaning "the outlier sketch".
 OUTLIER_PARTITION = -1
@@ -35,6 +37,31 @@ class VertexRouter:
                 )
         self._assignments: Dict[Hashable, int] = dict(assignments)
         self._num_partitions = num_partitions
+        self._int_lookup = self._build_int_lookup()
+
+    def _build_int_lookup(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
+        """Sorted ``(keys, partitions)`` arrays for vectorized integer routing.
+
+        Only built when every routed vertex is a genuine integer (the common
+        case for the bundled generators); mixed or non-integer label spaces
+        fall back to the dictionary path.
+        """
+        if not self._assignments:
+            return None
+        keys = []
+        values = []
+        for vertex, index in self._assignments.items():
+            if isinstance(vertex, bool) or not isinstance(vertex, (int, np.integer)):
+                return None
+            keys.append(int(vertex))
+            values.append(index)
+        try:
+            key_arr = np.asarray(keys, dtype=np.int64)
+        except OverflowError:
+            return None
+        value_arr = np.asarray(values, dtype=np.int64)
+        order = np.argsort(key_arr, kind="stable")
+        return key_arr[order], value_arr[order]
 
     @property
     def num_partitions(self) -> int:
@@ -50,6 +77,36 @@ class VertexRouter:
     def partition_of(self, vertex: Hashable) -> int:
         """Partition index for ``vertex``; :data:`OUTLIER_PARTITION` if unseen."""
         return self._assignments.get(vertex, OUTLIER_PARTITION)
+
+    def route_batch(self, sources: Sequence[Hashable] | np.ndarray) -> np.ndarray:
+        """Partition indices for a block of source vertices.
+
+        Integer-labelled blocks are routed with one ``searchsorted`` over the
+        pre-sorted assignment table; anything else falls back to per-vertex
+        dictionary lookups.  The result always agrees element-wise with
+        :meth:`partition_of`.
+
+        Returns:
+            ``int64`` array with one partition index per source;
+            :data:`OUTLIER_PARTITION` marks vertices served by the outlier
+            sketch.
+        """
+        arr = np.asarray(sources)
+        if self._int_lookup is not None and arr.dtype.kind in "iu" and arr.dtype != np.uint64:
+            keys, values = self._int_lookup
+            arr = arr.astype(np.int64, copy=False)
+            positions = np.searchsorted(keys, arr)
+            positions_clipped = np.minimum(positions, len(keys) - 1)
+            found = keys[positions_clipped] == arr
+            return np.where(found, values[positions_clipped], OUTLIER_PARTITION).astype(
+                np.int64
+            )
+        items = arr.tolist()
+        return np.fromiter(
+            (self._assignments.get(v, OUTLIER_PARTITION) for v in items),
+            dtype=np.int64,
+            count=len(arr),
+        )
 
     def is_outlier(self, vertex: Hashable) -> bool:
         """Whether ``vertex`` is served by the outlier sketch."""

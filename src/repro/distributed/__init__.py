@@ -1,0 +1,48 @@
+"""Sharded ingestion & query engine over localized gSketch partitions.
+
+gSketch routes every stream element to exactly one localized sketch by the
+edge's source vertex, so the structure is embarrassingly shardable: the paper
+flags distributed deployment of the partitioned sketches as the natural
+scale-out path, and this subpackage implements it.
+
+Layers (coordinator → shards → localized sketches):
+
+* :class:`~repro.distributed.plan.ShardPlan` — frequency-balanced LPT bin
+  packing of partition-tree leaves onto N shards;
+* :class:`~repro.distributed.batch_router.BatchRouter` — vectorized
+  hash + route + group of columnar edge blocks;
+* :class:`~repro.distributed.shard.SketchShard` — partition-local sketch
+  state: batch apply, serialize/deserialize checkpoints, exact merge;
+* :mod:`~repro.distributed.executor` — sequential, thread-pool and
+  per-shard-process execution backends behind one protocol;
+* :class:`~repro.distributed.coordinator.ShardedGSketch` — the engine:
+  batch ingestion, vectorized queries, checkpointing and re-aggregation back
+  into a plain :class:`~repro.core.gsketch.GSketch`.
+
+Every configuration produces counters bit-identical to a single
+:class:`~repro.core.gsketch.GSketch` over the same stream.
+"""
+
+from repro.distributed.batch_router import BatchRouter, PartitionGroup, RoutedBatch
+from repro.distributed.coordinator import ShardedGSketch
+from repro.distributed.executor import (
+    ProcessPoolExecutor,
+    SequentialExecutor,
+    ShardExecutor,
+    ThreadPoolExecutor,
+)
+from repro.distributed.plan import ShardPlan
+from repro.distributed.shard import SketchShard
+
+__all__ = [
+    "BatchRouter",
+    "PartitionGroup",
+    "ProcessPoolExecutor",
+    "RoutedBatch",
+    "SequentialExecutor",
+    "ShardExecutor",
+    "ShardPlan",
+    "ShardedGSketch",
+    "SketchShard",
+    "ThreadPoolExecutor",
+]

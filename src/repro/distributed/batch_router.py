@@ -1,0 +1,12 @@
+"""Re-export of the vectorized batch router.
+
+The implementation lives in :mod:`repro.core.batch_router` — it depends only
+on the core router and the columnar stream model, and the single-process
+:class:`~repro.core.gsketch.GSketch` uses it too.  It is re-exported here
+because batch routing is the scatter stage of the distributed pipeline
+(coordinator → shards → localized sketches).
+"""
+
+from repro.core.batch_router import BatchRouter, PartitionGroup, RoutedBatch
+
+__all__ = ["BatchRouter", "PartitionGroup", "RoutedBatch"]

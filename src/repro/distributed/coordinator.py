@@ -1,0 +1,389 @@
+"""The sharded ingestion & query coordinator.
+
+:class:`ShardedGSketch` is the scale-out form of
+:class:`~repro.core.gsketch.GSketch`: the same offline partitioning (tree,
+router, outlier reserve) drives a fleet of :class:`~repro.distributed.shard.SketchShard`
+workers, each owning the localized sketches a
+:class:`~repro.distributed.plan.ShardPlan` assigned to it.  The coordinator
+
+1. columnarizes the incoming stream into :class:`~repro.graph.batch.EdgeBatch`
+   blocks,
+2. hashes + routes + groups each block in one vectorized pass
+   (:class:`~repro.distributed.batch_router.BatchRouter`),
+3. scatters the per-partition groups to shard workers through a pluggable
+   :class:`~repro.distributed.executor.ShardExecutor` (in-thread, thread
+   pool, or per-shard worker processes), and
+4. serves queries from the shard-resident sketches, re-synchronizing worker
+   state first when the executor runs out-of-process.
+
+Because shard sketches are constructed by the same factories — identical
+widths, depths and hash seeds — and intra-partition arrival order is
+preserved end to end, a ``ShardedGSketch`` produces **bit-identical counters
+and estimates** to a single :class:`~repro.core.gsketch.GSketch` over the
+same stream, for any shard count and any executor.  The parity tests in
+``tests/test_distributed.py`` enforce exactly that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GSketchConfig
+from repro.core.gsketch import (
+    DEFAULT_BATCH_SIZE,
+    GSketch,
+    chunked_batches,
+    make_outlier_sketch,
+    make_partition_sketch,
+)
+from repro.core.partition_tree import PartitionTree
+from repro.core.partitioner import build_partition_tree
+from repro.core.router import OUTLIER_PARTITION, VertexRouter
+from repro.core.batch_router import BatchRouter, PartitionGroup
+from repro.distributed.executor import SequentialExecutor, ShardExecutor
+from repro.distributed.plan import ShardPlan
+from repro.distributed.shard import SketchShard
+from repro.graph.batch import EdgeBatch
+from repro.graph.edge import EdgeKey, StreamEdge
+from repro.graph.statistics import VertexStatistics
+from repro.graph.stream import GraphStream
+from repro.sketches.countmin import CountMinSketch
+
+
+class ShardedGSketch:
+    """A gSketch served by N frequency-balanced shards.
+
+    Instances are normally created through :meth:`build` (mirroring
+    :meth:`~repro.core.gsketch.GSketch.build`) or :meth:`from_gsketch`
+    (re-sharding an existing, possibly populated, single sketch).
+
+    Args:
+        config: the space budget and termination constants.
+        tree: the offline partitioning tree.
+        router: the vertex → partition hash structure ``H``.
+        stats: sample statistics (kept for plan weights and re-aggregation).
+        num_shards: number of shards when ``plan`` is not given.
+        executor: execution backend; defaults to
+            :class:`~repro.distributed.executor.SequentialExecutor`.
+        plan: an explicit shard plan (overrides ``num_shards``).
+    """
+
+    def __init__(
+        self,
+        config: GSketchConfig,
+        tree: PartitionTree,
+        router: VertexRouter,
+        stats: VertexStatistics,
+        num_shards: int = 2,
+        executor: Optional[ShardExecutor] = None,
+        plan: Optional[ShardPlan] = None,
+    ) -> None:
+        self.config = config
+        self.tree = tree
+        self.router = router
+        self.stats = stats
+        self.plan = plan or ShardPlan.from_tree(tree, num_shards, stats=stats)
+        self._executor: ShardExecutor = executor or SequentialExecutor()
+        self._batch_router = BatchRouter(router)
+        self._shard_lookup = self.plan.lookup_table()
+
+        leaves_by_index = {leaf.index: leaf for leaf in tree.leaves}
+        shard_sketches: List[Dict[int, CountMinSketch]] = [
+            {} for _ in range(self.plan.num_shards)
+        ]
+        for partition, shard_index in self.plan.assignments.items():
+            if partition == OUTLIER_PARTITION:
+                sketch = make_outlier_sketch(config, tree.surplus_width)
+            else:
+                sketch = make_partition_sketch(config, leaves_by_index[partition])
+            shard_sketches[shard_index][partition] = sketch
+        self._shards: List[SketchShard] = [
+            SketchShard(index, sketches) for index, sketches in enumerate(shard_sketches)
+        ]
+
+        self._elements_processed = 0
+        self._outlier_elements = 0
+        self._started = False
+        self._stale = False
+
+    # ------------------------------------------------------------------ #
+    # Builders
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        sample: GraphStream,
+        config: GSketchConfig,
+        num_shards: int = 2,
+        executor: Optional[ShardExecutor] = None,
+        stream_size_hint: Optional[int] = None,
+    ) -> "ShardedGSketch":
+        """Partition with a data sample and spread the leaves over shards.
+
+        The offline phase is exactly :meth:`GSketch.build`; only the physical
+        placement of the resulting sketches differs.
+        """
+        stats = GSketch._sample_statistics(sample, stream_size_hint)
+        tree = build_partition_tree(stats, config, workload_weights=None)
+        router = VertexRouter(tree.vertex_partition_map(), num_partitions=len(tree.leaves))
+        return cls(
+            config=config,
+            tree=tree,
+            router=router,
+            stats=stats,
+            num_shards=num_shards,
+            executor=executor,
+        )
+
+    @classmethod
+    def from_gsketch(
+        cls,
+        gsketch: GSketch,
+        num_shards: int = 2,
+        executor: Optional[ShardExecutor] = None,
+    ) -> "ShardedGSketch":
+        """Re-shard an existing (possibly populated) single-process sketch.
+
+        Counter state is copied, so the sharded engine picks up serving
+        exactly where the single sketch left off.
+        """
+        sharded = cls(
+            config=gsketch.config,
+            tree=gsketch.tree,
+            router=gsketch.router,
+            stats=gsketch.stats,
+            num_shards=num_shards,
+            executor=executor,
+        )
+        for partition, sketch in enumerate(gsketch.partitions):
+            shard = sharded._shards[sharded.plan.shard_of(partition)]
+            shard.sketch_for(partition).load_state(sketch.state_dict())
+        outlier_shard = sharded._shards[sharded.plan.shard_of(OUTLIER_PARTITION)]
+        outlier_shard.sketch_for(OUTLIER_PARTITION).load_state(
+            gsketch.outlier_sketch.state_dict()
+        )
+        sharded._elements_processed = gsketch.elements_processed
+        sharded._outlier_elements = gsketch.outlier_elements
+        return sharded
+
+    # ------------------------------------------------------------------ #
+    # Ingestion
+    # ------------------------------------------------------------------ #
+    def ingest(
+        self,
+        stream: GraphStream | Iterable[StreamEdge],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
+        """Ingest a whole stream in columnar blocks; returns elements ingested.
+
+        Materialized :class:`~repro.graph.stream.GraphStream` inputs reuse the
+        stream's cached columnar form; arbitrary iterables (including
+        unbounded generators) are chunked lazily without materializing.
+        """
+        if isinstance(stream, GraphStream):
+            batches: Iterable[EdgeBatch] = stream.iter_batches(batch_size)
+        else:
+            batches = chunked_batches(stream, batch_size)
+        self._ensure_started()
+        processed = 0
+        for batch in batches:
+            processed += self.ingest_batch(batch)
+        return processed
+
+    def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
+        """Route one block to its shards and apply it through the executor."""
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch.from_edges(list(batch))
+        self._ensure_started()
+        routed = self._batch_router.route(batch)
+        if not routed.groups:
+            return 0
+        work: Dict[int, List[PartitionGroup]] = {}
+        for group in routed.groups:
+            shard_index = int(self._shard_lookup[group.partition])
+            work.setdefault(shard_index, []).append(group)
+        self._executor.apply(self._shards, work)
+        self._elements_processed += routed.num_elements
+        self._outlier_elements += routed.outlier_count
+        self._stale = True
+        return routed.num_elements
+
+    def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
+        """Single-element convenience path (routes a one-element batch)."""
+        self.ingest_batch([StreamEdge(source, target, 0.0, frequency)])
+
+    def _ensure_started(self) -> None:
+        if not self._started:
+            self._executor.start(self._shards)
+            self._started = True
+
+    def _synchronize(self) -> None:
+        """Pull authoritative state back from out-of-process workers."""
+        if self._stale:
+            self._executor.sync(self._shards)
+            self._stale = False
+
+    def _reset_executor(self) -> None:
+        """Make the coordinator-resident shard state authoritative again.
+
+        Called after coordinator-side mutations (merge, checkpoint restore):
+        out-of-process workers still hold the pre-mutation state, so they are
+        shut down and respawned lazily from the current shards on the next
+        ingest.  In-process executors restart cheaply (or not at all).
+        """
+        if self._started:
+            self._executor.close()
+            self._started = False
+        self._stale = False
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def query_edge(self, edge: EdgeKey) -> float:
+        """Estimate the aggregate frequency of a directed edge."""
+        return self.query_edges([edge])[0]
+
+    def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """Estimate many edges at once, vectorized per partition."""
+        if len(edges) == 0:
+            return []
+        self._synchronize()
+        routed = self._batch_router.route_edges(edges)
+        estimates = np.empty(len(edges), dtype=np.float64)
+        for group in routed.groups:
+            shard = self._shards[int(self._shard_lookup[group.partition])]
+            estimates[group.positions] = shard.estimate_group(group)
+        return estimates.tolist()
+
+    def is_outlier_query(self, edge: EdgeKey) -> bool:
+        """Whether the edge query would be answered by the outlier sketch."""
+        return self.router.is_outlier(edge[0])
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing / re-aggregation
+    # ------------------------------------------------------------------ #
+    def shard_states(self) -> List[bytes]:
+        """Serialized checkpoints of every shard, in shard order."""
+        self._synchronize()
+        return [shard.serialize() for shard in self._shards]
+
+    def load_shard_states(self, states: Sequence[bytes]) -> None:
+        """Restore shard checkpoints produced by :meth:`shard_states`.
+
+        Element counters are recovered from the revived sketches (every
+        ingested element is exactly one update in exactly one sketch), and
+        any out-of-process worker state is discarded in favour of the
+        checkpoint.
+        """
+        if len(states) != len(self._shards):
+            raise ValueError(
+                f"expected {len(self._shards)} shard states, got {len(states)}"
+            )
+        self._reset_executor()
+        for shard, payload in zip(self._shards, states):
+            shard.load_state_from(SketchShard.deserialize(payload))
+        self._elements_processed = 0
+        self._outlier_elements = 0
+        for shard in self._shards:
+            for partition, sketch in shard.sketches():
+                self._elements_processed += sketch.update_count
+                if partition == OUTLIER_PARTITION:
+                    self._outlier_elements = sketch.update_count
+
+    def merge(self, other: "ShardedGSketch") -> None:
+        """Fold another engine's counters into this one, shard by shard.
+
+        Both engines must descend from the same partitioning (same tree,
+        plan and seeds).  Afterwards this engine equals one that ingested
+        both input streams concatenated.
+        """
+        if self.plan.assignments != other.plan.assignments:
+            raise ValueError("cannot merge engines built from different shard plans")
+        self._synchronize()
+        other._synchronize()
+        for mine, theirs in zip(self._shards, other._shards):
+            mine.merge(theirs)
+        self._elements_processed += other._elements_processed
+        self._outlier_elements += other._outlier_elements
+        # Workers (if any) still hold the pre-merge state; respawn them from
+        # the merged coordinator state on next use.
+        self._reset_executor()
+
+    def to_gsketch(self) -> GSketch:
+        """Re-aggregate the shards into a plain single-process ``GSketch``.
+
+        The result is a deep copy: serving it does not alias shard state.
+        """
+        self._synchronize()
+        gsketch = GSketch(
+            config=self.config, tree=self.tree, router=self.router, stats=self.stats
+        )
+        for shard in self._shards:
+            for partition, sketch in shard.sketches():
+                state = sketch.state_dict()
+                if partition == OUTLIER_PARTITION:
+                    gsketch.outlier_sketch.load_state(state)
+                else:
+                    gsketch.partitions[partition].load_state(state)
+        gsketch._elements_processed = self._elements_processed
+        gsketch._outlier_elements = self._outlier_elements
+        return gsketch
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Synchronize worker state and release executor resources."""
+        self._synchronize()
+        self._executor.close()
+        self._started = False
+
+    def __enter__(self) -> "ShardedGSketch":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def shards(self) -> Sequence[SketchShard]:
+        """The shard workers, in shard order."""
+        return tuple(self._shards)
+
+    @property
+    def num_shards(self) -> int:
+        return self.plan.num_shards
+
+    @property
+    def num_partitions(self) -> int:
+        """Number of localized (non-outlier) partitions across all shards."""
+        return self.plan.num_partitions
+
+    @property
+    def elements_processed(self) -> int:
+        return self._elements_processed
+
+    @property
+    def outlier_elements(self) -> int:
+        return self._outlier_elements
+
+    @property
+    def total_frequency(self) -> float:
+        """Total ingested frequency mass across all shards."""
+        self._synchronize()
+        return float(sum(shard.total_count for shard in self._shards))
+
+    @property
+    def memory_cells(self) -> int:
+        """Allocated counter cells across all shards."""
+        return sum(shard.memory_cells for shard in self._shards)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ShardedGSketch(shards={self.num_shards}, "
+            f"partitions={self.num_partitions}, N={self._elements_processed})"
+        )

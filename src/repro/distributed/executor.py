@@ -1,0 +1,228 @@
+"""Shard execution backends.
+
+The coordinator never touches sketch counters directly; it hands per-shard
+work lists to a :class:`ShardExecutor`.  Three interchangeable backends share
+the protocol:
+
+* :class:`SequentialExecutor` — applies work in the calling thread.  Zero
+  overhead, the reference for parity tests, and surprisingly competitive
+  because counter updates are numpy-bound.
+* :class:`ThreadPoolExecutor` — one task per shard per batch on a shared
+  thread pool.  Shards are disjoint by construction, so no locking is needed.
+* :class:`ProcessPoolExecutor` — one persistent worker **process per shard**,
+  each owning its shard's deserialized state; work travels over pipes and the
+  authoritative state is pulled back on :meth:`~ShardExecutor.sync`.  This is
+  the single-machine stand-in for a real distributed deployment, and it
+  exercises the full serialize → apply → re-aggregate cycle.
+
+All backends produce bit-identical sketch state: work for one shard is always
+applied in submission order, and distinct shards share no counters.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import traceback
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence
+
+from repro.core.batch_router import PartitionGroup
+from repro.distributed.shard import SketchShard
+
+
+class ShardExecutor(Protocol):
+    """The contract between the coordinator and an execution backend."""
+
+    def start(self, shards: Sequence[SketchShard]) -> None:
+        """Attach to the shard set before the first batch (may be a no-op)."""
+
+    def apply(
+        self,
+        shards: Sequence[SketchShard],
+        work: Mapping[int, Sequence[PartitionGroup]],
+    ) -> None:
+        """Apply per-shard group lists; must complete before returning."""
+
+    def sync(self, shards: Sequence[SketchShard]) -> None:
+        """Make the coordinator-resident shard state authoritative again."""
+
+    def close(self) -> None:
+        """Release threads/processes; the executor may not be reused after."""
+
+
+class SequentialExecutor:
+    """Apply all shard work in the calling thread (reference backend)."""
+
+    def start(self, shards: Sequence[SketchShard]) -> None:
+        pass
+
+    def apply(
+        self,
+        shards: Sequence[SketchShard],
+        work: Mapping[int, Sequence[PartitionGroup]],
+    ) -> None:
+        for shard_index in sorted(work):
+            shards[shard_index].apply(work[shard_index])
+
+    def sync(self, shards: Sequence[SketchShard]) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+class ThreadPoolExecutor:
+    """One task per shard per batch on a shared thread pool.
+
+    Counter updates release little of the GIL for small batches, but wide
+    batches spend most of their time inside numpy kernels, where threads do
+    overlap.  Shards never share sketches, so updates are race-free.
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        self._max_workers = max_workers
+        self._pool: Optional[concurrent.futures.ThreadPoolExecutor] = None
+
+    def _ensure_pool(self) -> concurrent.futures.ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = concurrent.futures.ThreadPoolExecutor(
+                max_workers=self._max_workers, thread_name_prefix="shard"
+            )
+        return self._pool
+
+    def start(self, shards: Sequence[SketchShard]) -> None:
+        self._ensure_pool()
+
+    def apply(
+        self,
+        shards: Sequence[SketchShard],
+        work: Mapping[int, Sequence[PartitionGroup]],
+    ) -> None:
+        pool = self._ensure_pool()
+        futures = [
+            pool.submit(shards[shard_index].apply, groups)
+            for shard_index, groups in sorted(work.items())
+        ]
+        for future in futures:
+            future.result()
+
+    def sync(self, shards: Sequence[SketchShard]) -> None:
+        pass
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+
+def _shard_worker(conn, payload: bytes) -> None:
+    """Worker-process loop: own one shard, serve apply/state requests."""
+    try:
+        shard = SketchShard.deserialize(payload)
+    except Exception:  # noqa: BLE001 - report construction failures too
+        conn.send(("error", traceback.format_exc()))
+        conn.close()
+        return
+    while True:
+        message = conn.recv()
+        kind = message[0]
+        try:
+            if kind == "apply":
+                shard.apply(message[1])
+                conn.send(("ok", None))
+            elif kind == "state":
+                conn.send(("state", shard.serialize()))
+            elif kind == "stop":
+                conn.close()
+                return
+            else:  # pragma: no cover - defensive
+                conn.send(("error", f"unknown message kind {kind!r}"))
+        except Exception:  # noqa: BLE001 - ship the traceback to the parent
+            conn.send(("error", traceback.format_exc()))
+
+
+class ProcessPoolExecutor:
+    """Persistent per-shard worker processes with pipe transport.
+
+    Each shard's state lives in its worker from :meth:`start` until
+    :meth:`sync`, which pulls the serialized shard back and installs it into
+    the coordinator-resident :class:`~repro.distributed.shard.SketchShard`.
+    Work/acknowledge round-trips are overlapped across shards: a batch is
+    scattered to every involved worker before any acknowledgement is awaited.
+
+    Args:
+        mp_context: multiprocessing start method (``"fork"`` where available
+            is fastest; ``None`` uses the platform default).
+    """
+
+    def __init__(self, mp_context: Optional[str] = None) -> None:
+        self._ctx = multiprocessing.get_context(mp_context)
+        self._workers: List[multiprocessing.Process] = []
+        self._pipes: List = []
+        self._started = False
+
+    def start(self, shards: Sequence[SketchShard]) -> None:
+        if self._started:
+            return
+        for shard in shards:
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_shard_worker,
+                args=(child_conn, shard.serialize()),
+                daemon=True,
+                name=f"sketch-shard-{shard.index}",
+            )
+            process.start()
+            child_conn.close()
+            self._workers.append(process)
+            self._pipes.append(parent_conn)
+        self._started = True
+
+    def _expect(self, shard_index: int, expected: str):
+        kind, payload = self._pipes[shard_index].recv()
+        if kind == "error":
+            raise RuntimeError(
+                f"shard worker {shard_index} failed:\n{payload}"
+            )
+        if kind != expected:  # pragma: no cover - defensive
+            raise RuntimeError(
+                f"shard worker {shard_index} sent {kind!r}, expected {expected!r}"
+            )
+        return payload
+
+    def apply(
+        self,
+        shards: Sequence[SketchShard],
+        work: Mapping[int, Sequence[PartitionGroup]],
+    ) -> None:
+        if not self._started:
+            self.start(shards)
+        involved = sorted(work)
+        for shard_index in involved:
+            self._pipes[shard_index].send(("apply", list(work[shard_index])))
+        for shard_index in involved:
+            self._expect(shard_index, "ok")
+
+    def sync(self, shards: Sequence[SketchShard]) -> None:
+        if not self._started:
+            return
+        for pipe in self._pipes:
+            pipe.send(("state",))
+        for shard_index, shard in enumerate(shards):
+            payload = self._expect(shard_index, "state")
+            shard.load_state_from(SketchShard.deserialize(payload))
+
+    def close(self) -> None:
+        for pipe in self._pipes:
+            try:
+                pipe.send(("stop",))
+                pipe.close()
+            except (BrokenPipeError, OSError):  # pragma: no cover - defensive
+                pass
+        for process in self._workers:
+            process.join(timeout=5.0)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+        self._workers = []
+        self._pipes = []
+        self._started = False

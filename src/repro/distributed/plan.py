@@ -1,0 +1,158 @@
+"""Shard planning: mapping partition-tree leaves onto shards.
+
+gSketch routes every stream element to exactly one localized sketch, so the
+structure shards without coordination: a shard owns a subset of the partition
+tree's leaves (plus, on exactly one shard, the outlier sketch) and absorbs
+only the elements routed to those leaves.  The planner's job is purely load
+balance — assign leaves to shards so that every shard sees a similar share of
+the stream's frequency mass.
+
+The plan uses longest-processing-time (LPT) greedy bin packing over the
+per-leaf frequency estimates from the partitioning sample: leaves are sorted
+by estimated mass, heaviest first, and each is placed on the currently
+lightest shard.  LPT is a classic 4/3-approximation of optimal makespan and
+is deterministic given the tree, which matters for reproducibility.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.core.partition_tree import PartitionTree
+from repro.core.router import OUTLIER_PARTITION
+from repro.graph.statistics import VertexStatistics
+from repro.utils.validation import require_positive_int
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """An immutable assignment of sketch partitions to shards.
+
+    Attributes:
+        num_shards: number of shards (≥ 1).
+        num_partitions: number of localized (non-outlier) partitions.
+        assignments: partition index → shard index; includes
+            :data:`~repro.core.router.OUTLIER_PARTITION` for the outlier
+            sketch, which lives on exactly one shard.
+        weights: the per-partition load estimates the packing used.
+    """
+
+    num_shards: int
+    num_partitions: int
+    assignments: Mapping[int, int]
+    weights: Mapping[int, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        require_positive_int(self.num_shards, "num_shards")
+        expected = set(range(self.num_partitions)) | {OUTLIER_PARTITION}
+        if set(self.assignments) != expected:
+            raise ValueError(
+                "plan must assign every partition index plus the outlier exactly once"
+            )
+        for partition, shard in self.assignments.items():
+            if not 0 <= shard < self.num_shards:
+                raise ValueError(
+                    f"partition {partition} assigned to shard {shard}, but only "
+                    f"{self.num_shards} shards exist"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_tree(
+        cls,
+        tree: PartitionTree,
+        num_shards: int,
+        stats: Optional[VertexStatistics] = None,
+        outlier_weight: Optional[float] = None,
+    ) -> "ShardPlan":
+        """Frequency-balanced LPT packing of the tree's leaves onto shards.
+
+        Args:
+            tree: the partitioning tree whose leaves become physical sketches.
+            num_shards: number of shards to spread the leaves over.
+            stats: sample statistics; when given, a leaf's load estimate is
+                the summed sampled frequency of its vertices, otherwise its
+                width serves as a proxy.
+            outlier_weight: load estimate for the outlier sketch.  Defaults to
+                the mean leaf weight — the sample says nothing about unseen
+                vertices, so the outlier is treated as an average citizen.
+        """
+        require_positive_int(num_shards, "num_shards")
+        weights: Dict[int, float] = {}
+        for leaf in tree.leaves:
+            if stats is not None:
+                weight = float(sum(stats.frequency(v) for v in leaf.vertices))
+            else:
+                weight = float(leaf.width)
+            weights[leaf.index] = weight
+        if outlier_weight is None:
+            outlier_weight = (
+                float(np.mean(list(weights.values()))) if weights else 1.0
+            )
+        weights[OUTLIER_PARTITION] = float(outlier_weight)
+
+        # LPT: heaviest first onto the lightest shard.  Ties break on the
+        # partition index so the plan is deterministic.
+        items = sorted(weights.items(), key=lambda kv: (-kv[1], kv[0]))
+        heap: List[Tuple[float, int]] = [(0.0, shard) for shard in range(num_shards)]
+        heapq.heapify(heap)
+        assignments: Dict[int, int] = {}
+        for partition, weight in items:
+            load, shard = heapq.heappop(heap)
+            assignments[partition] = shard
+            heapq.heappush(heap, (load + weight, shard))
+
+        return cls(
+            num_shards=num_shards,
+            num_partitions=len(tree.leaves),
+            assignments=dict(assignments),
+            weights=weights,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def shard_of(self, partition: int) -> int:
+        """Shard index owning the given partition (or the outlier sentinel)."""
+        return self.assignments[partition]
+
+    def partitions_of(self, shard: int) -> Tuple[int, ...]:
+        """All partition indices owned by ``shard``, outlier sentinel included."""
+        return tuple(
+            sorted(p for p, s in self.assignments.items() if s == shard)
+        )
+
+    def lookup_table(self) -> np.ndarray:
+        """Vectorized partition → shard map of length ``num_partitions + 1``.
+
+        Indexing the table with a partition array maps every localized
+        partition through positions ``[0, num_partitions)`` while the
+        :data:`~repro.core.router.OUTLIER_PARTITION` sentinel (-1) wraps to
+        the final slot, which holds the outlier's shard — one fancy-index
+        resolves a whole batch.
+        """
+        table = np.empty(self.num_partitions + 1, dtype=np.int64)
+        for partition in range(self.num_partitions):
+            table[partition] = self.assignments[partition]
+        table[self.num_partitions] = self.assignments[OUTLIER_PARTITION]
+        return table
+
+    def shard_loads(self) -> List[float]:
+        """Estimated load per shard under this plan (diagnostics, tests)."""
+        loads = [0.0] * self.num_shards
+        for partition, shard in self.assignments.items():
+            loads[shard] += self.weights.get(partition, 0.0)
+        return loads
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        loads = ", ".join(f"{load:.0f}" for load in self.shard_loads())
+        return (
+            f"ShardPlan(shards={self.num_shards}, partitions={self.num_partitions}, "
+            f"loads=[{loads}])"
+        )

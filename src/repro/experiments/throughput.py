@@ -1,0 +1,255 @@
+"""Ingestion-throughput benchmark: per-edge vs batched vs sharded.
+
+The ROADMAP demands that hot-path speedups be *tracked artifacts*, not
+claims.  This runner measures edges/second for
+
+* ``per-edge``   — :meth:`~repro.core.gsketch.GSketch.update` per element
+  (the paper's online-maintenance loop, all-Python);
+* ``batched``    — :meth:`~repro.core.gsketch.GSketch.process`, the
+  vectorized hash → route → group → ``np.add.at`` pipeline;
+* ``sharded-N``  — :class:`~repro.distributed.coordinator.ShardedGSketch`
+  with N shards (N=1 runs the sequential executor; N>1 the thread pool),
+
+over two generators (R-MAT and Zipf), verifies that every mode returns
+identical estimates on a sample of query edges, and writes the results to
+``BENCH_throughput.json``.
+
+Run it from the repo root::
+
+    python experiments/throughput.py            # full run (100k edges)
+    python experiments/throughput.py --quick    # CI smoke (10k edges)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.config import GSketchConfig
+from repro.core.gsketch import GSketch
+from repro.datasets.rmat import RMATConfig, generate_rmat_edges
+from repro.datasets.zipf import bounded_zipf_sample
+from repro.distributed import SequentialExecutor, ShardedGSketch, ThreadPoolExecutor
+from repro.graph.sampling import reservoir_sample
+from repro.graph.stream import GraphStream
+from repro.utils.rng import resolve_rng
+
+DEFAULT_EDGES = 100_000
+QUICK_EDGES = 10_000
+DEFAULT_SHARD_COUNTS = (1, 2, 4)
+DEFAULT_OUTPUT = "BENCH_throughput.json"
+
+
+@dataclass(frozen=True)
+class ThroughputResult:
+    """One (dataset, mode) measurement."""
+
+    dataset: str
+    mode: str
+    edges: int
+    seconds: float
+    edges_per_second: float
+    speedup_vs_per_edge: Optional[float] = None
+
+
+def rmat_stream(num_edges: int, scale: int = 14, seed: int = 7) -> GraphStream:
+    """A raw R-MAT arrival stream (power-law sources, repeated cells)."""
+    sources, targets = generate_rmat_edges(
+        RMATConfig(seed=seed, scale=scale, num_edges=num_edges)
+    )
+    edges = [
+        (int(s), int(t), float(i), 1.0)
+        for i, (s, t) in enumerate(zip(sources, targets))
+    ]
+    return GraphStream.from_tuples(edges, name="rmat")
+
+
+def zipf_stream(
+    num_edges: int, population: int = 2_000, exponent: float = 1.2, seed: int = 7
+) -> GraphStream:
+    """A Zipf-source stream: rank-skewed sources, uniform targets."""
+    rng = resolve_rng(seed)
+    sources = bounded_zipf_sample(population, num_edges, exponent, seed=rng)
+    targets = rng.integers(0, population * 2, size=num_edges)
+    edges = [
+        (int(s), int(t), float(i), 1.0)
+        for i, (s, t) in enumerate(zip(sources, targets))
+    ]
+    return GraphStream.from_tuples(edges, name="zipf")
+
+
+def _time_mode(ingest: Callable[[], object]) -> float:
+    start = time.perf_counter()
+    ingest()
+    return time.perf_counter() - start
+
+
+def run_throughput(
+    num_edges: int = DEFAULT_EDGES,
+    shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
+    batch_size: int = 8192,
+    total_cells: int = 60_000,
+    depth: int = 4,
+    sample_size: int = 5_000,
+    seed: int = 7,
+    parity_queries: int = 200,
+) -> Dict[str, object]:
+    """Run every mode on every generator; returns the report dictionary."""
+    config = GSketchConfig(total_cells=total_cells, depth=depth, seed=seed)
+    streams = {
+        "rmat": rmat_stream(num_edges, seed=seed),
+        "zipf": zipf_stream(num_edges, seed=seed),
+    }
+    results: List[ThroughputResult] = []
+    parity_ok = True
+
+    for name, stream in streams.items():
+        sample = reservoir_sample(stream, sample_size, seed=seed)
+        query_edges = sorted(stream.distinct_edges())[:parity_queries]
+        # Columnarize once up front: the cache is shared by every batched
+        # mode, so no mode is charged the one-time conversion.
+        stream.to_batch()
+
+        def fresh() -> GSketch:
+            return GSketch.build(sample, config, stream_size_hint=len(stream))
+
+        # --- per-edge reference -------------------------------------- #
+        per_edge = fresh()
+        seconds = _time_mode(
+            lambda: [per_edge.update(e.source, e.target, e.frequency) for e in stream]
+        )
+        per_edge_seconds = seconds
+        reference_estimates = per_edge.query_edges(query_edges)
+        results.append(
+            ThroughputResult(
+                dataset=name,
+                mode="per-edge",
+                edges=len(stream),
+                seconds=seconds,
+                edges_per_second=len(stream) / seconds,
+            )
+        )
+
+        # --- batched -------------------------------------------------- #
+        batched = fresh()
+        seconds = _time_mode(lambda: batched.process(stream, batch_size))
+        parity_ok &= batched.query_edges(query_edges) == reference_estimates
+        results.append(
+            ThroughputResult(
+                dataset=name,
+                mode="batched",
+                edges=len(stream),
+                seconds=seconds,
+                edges_per_second=len(stream) / seconds,
+                speedup_vs_per_edge=per_edge_seconds / seconds,
+            )
+        )
+
+        # --- sharded -------------------------------------------------- #
+        for num_shards in shard_counts:
+            executor = (
+                SequentialExecutor()
+                if num_shards == 1
+                else ThreadPoolExecutor(max_workers=num_shards)
+            )
+            sharded = ShardedGSketch.build(
+                sample,
+                config,
+                num_shards=num_shards,
+                executor=executor,
+                stream_size_hint=len(stream),
+            )
+            seconds = _time_mode(
+                lambda: sharded.ingest(stream, batch_size=batch_size)
+            )
+            parity_ok &= sharded.query_edges(query_edges) == reference_estimates
+            sharded.close()
+            results.append(
+                ThroughputResult(
+                    dataset=name,
+                    mode=f"sharded-{num_shards}",
+                    edges=len(stream),
+                    seconds=seconds,
+                    edges_per_second=len(stream) / seconds,
+                    speedup_vs_per_edge=per_edge_seconds / seconds,
+                )
+            )
+
+    return {
+        "benchmark": "ingestion-throughput",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "num_edges": num_edges,
+            "batch_size": batch_size,
+            "total_cells": total_cells,
+            "depth": depth,
+            "sample_size": sample_size,
+            "seed": seed,
+            "shard_counts": list(shard_counts),
+            "columnarization": "warmed before timing (shared by all batched modes)",
+        },
+        "parity_ok": bool(parity_ok),
+        "results": [asdict(r) for r in results],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=DEFAULT_EDGES,
+        help=f"stream length per generator (default {DEFAULT_EDGES})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_EDGES} edges, shards (1, 2)",
+    )
+    parser.add_argument(
+        "--batch-size", type=int, default=8192, help="elements per ingest block"
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    num_edges = QUICK_EDGES if args.quick else args.edges
+    shard_counts = (1, 2) if args.quick else DEFAULT_SHARD_COUNTS
+    report = run_throughput(
+        num_edges=num_edges,
+        shard_counts=shard_counts,
+        batch_size=args.batch_size,
+        seed=args.seed,
+    )
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    print(f"parity_ok: {report['parity_ok']}")
+    header = f"{'dataset':<8} {'mode':<12} {'edges/s':>12} {'speedup':>9}"
+    print(header)
+    print("-" * len(header))
+    for row in report["results"]:
+        speedup = row["speedup_vs_per_edge"]
+        print(
+            f"{row['dataset']:<8} {row['mode']:<12} "
+            f"{row['edges_per_second']:>12,.0f} "
+            f"{('%.2fx' % speedup) if speedup else '—':>9}"
+        )
+    return 0 if report["parity_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

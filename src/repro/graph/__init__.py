@@ -1,5 +1,6 @@
 """Graph stream model, vertex statistics, sampling and smoothing substrates."""
 
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.sampling import (
     reservoir_sample,
@@ -12,6 +13,7 @@ from repro.graph.statistics import VertexStatistics, variance_ratio
 from repro.graph.stream import GraphStream
 
 __all__ = [
+    "EdgeBatch",
     "EdgeKey",
     "GraphStream",
     "StreamEdge",

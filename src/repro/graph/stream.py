@@ -9,26 +9,62 @@ queries, time-window slicing, and convenient constructors.
 
 from __future__ import annotations
 
+import math
 from collections import Counter
 from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 
 
 class GraphStream:
     """A finite, materialized graph stream in arrival order.
 
+    Every element's frequency is validated at construction: sketches assume
+    non-negative, finite frequency mass, and a stray ``NaN``/``inf``/negative
+    value would silently corrupt both the counters and the ground-truth
+    oracle used for evaluation.
+
     Args:
         edges: stream elements.  They are stored in the given order, which is
             interpreted as arrival order.
         name: optional human-readable name used in experiment reports.
+
+    Args (continued):
+        validate: skip the per-element validation pass when ``False``.  Only
+            for internal construction from already-validated elements (the
+            slicing helpers); external callers should keep the default.
+
+    Raises:
+        ValueError: if any element carries a negative or non-finite frequency
+            or a non-finite time-stamp.
     """
 
-    def __init__(self, edges: Iterable[StreamEdge], name: str = "stream") -> None:
+    def __init__(
+        self,
+        edges: Iterable[StreamEdge],
+        name: str = "stream",
+        validate: bool = True,
+    ) -> None:
         self._edges: List[StreamEdge] = [
             e if isinstance(e, StreamEdge) else StreamEdge(*e) for e in edges
         ]
         self.name = name
+        self._batch_cache: Optional[EdgeBatch] = None
+        if not validate:
+            return
+        for index, edge in enumerate(self._edges):
+            frequency = edge.frequency
+            if not (frequency >= 0.0) or math.isinf(frequency):
+                raise ValueError(
+                    f"stream element {index} {edge.key!r} carries invalid frequency "
+                    f"{frequency!r}; frequencies must be finite and >= 0"
+                )
+            if not math.isfinite(edge.timestamp):
+                raise ValueError(
+                    f"stream element {index} {edge.key!r} carries non-finite "
+                    f"timestamp {edge.timestamp!r}"
+                )
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -135,7 +171,9 @@ class GraphStream:
             raise ValueError(f"window end ({end}) must not precede start ({start})")
         window_name = name if name is not None else f"{self.name}[{start},{end})"
         return GraphStream(
-            (e for e in self._edges if start <= e.timestamp < end), name=window_name
+            (e for e in self._edges if start <= e.timestamp < end),
+            name=window_name,
+            validate=False,
         )
 
     def prefix(self, count: int, name: Optional[str] = None) -> "GraphStream":
@@ -143,14 +181,14 @@ class GraphStream:
         if count < 0:
             raise ValueError(f"count must be >= 0, got {count}")
         prefix_name = name if name is not None else f"{self.name}[:{count}]"
-        return GraphStream(self._edges[:count], name=prefix_name)
+        return GraphStream(self._edges[:count], name=prefix_name, validate=False)
 
     def suffix(self, start: int, name: Optional[str] = None) -> "GraphStream":
         """Elements from index ``start`` onward."""
         if start < 0:
             raise ValueError(f"start must be >= 0, got {start}")
         suffix_name = name if name is not None else f"{self.name}[{start}:]"
-        return GraphStream(self._edges[start:], name=suffix_name)
+        return GraphStream(self._edges[start:], name=suffix_name, validate=False)
 
     def timestamp_range(self) -> Tuple[float, float]:
         """``(min, max)`` timestamps; raises ``ValueError`` on an empty stream."""
@@ -162,3 +200,30 @@ class GraphStream:
     def edges(self) -> Sequence[StreamEdge]:
         """The underlying (immutable by convention) list of stream elements."""
         return self._edges
+
+    # ------------------------------------------------------------------ #
+    # Batched access
+    # ------------------------------------------------------------------ #
+    def iter_batches(self, size: int) -> Iterator[EdgeBatch]:
+        """Yield the stream as consecutive columnar blocks of ``size`` elements.
+
+        Arrival order is preserved: concatenating the yielded batches
+        reproduces the stream exactly, so batched ingestion through
+        :meth:`~repro.core.gsketch.GSketch.ingest_batch` matches per-edge
+        ingestion bit for bit.  The final batch may be shorter.
+
+        The stream is columnarized once (and cached); each yielded batch is a
+        set of zero-copy array views, so repeated batched passes pay the
+        Python-level conversion only on first use.
+        """
+        if size <= 0:
+            raise ValueError(f"batch size must be > 0, got {size}")
+        whole = self.to_batch()
+        for start in range(0, len(whole), size):
+            yield whole.slice(start, start + size)
+
+    def to_batch(self) -> EdgeBatch:
+        """The whole stream as a single columnar batch (cached)."""
+        if self._batch_cache is None:
+            self._batch_cache = EdgeBatch.from_edges(self._edges)
+        return self._batch_cache

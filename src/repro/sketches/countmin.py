@@ -232,6 +232,69 @@ class CountMinSketch(FrequencySketch):
         self._total += other._total
         self._update_count += other._update_count
 
+    def state_dict(self) -> dict:
+        """Snapshot of the full sketch state (counters + hash coefficients).
+
+        The snapshot is self-contained: :meth:`from_state` revives a sketch in
+        another process that hashes, estimates and merges identically.  Arrays
+        are copied so the snapshot is immune to further updates.
+        """
+        a, b = zip(*self._hashes.coefficients())
+        return {
+            "width": self._width,
+            "depth": self._depth,
+            "conservative": self._conservative,
+            "hash_a": list(a),
+            "hash_b": list(b),
+            "table": self._table.copy(),
+            "total": self._total,
+            "update_count": self._update_count,
+        }
+
+    def load_state(self, state: dict) -> None:
+        """Adopt a :meth:`state_dict` snapshot in place.
+
+        The snapshot must have this sketch's dimensions; the hash family is
+        adopted along with the counters so estimates stay consistent.
+        """
+        revived = CountMinSketch.from_state(state)
+        if (revived._width, revived._depth) != (self._width, self._depth):
+            raise ValueError(
+                f"state has dimensions {revived._width}x{revived._depth}, "
+                f"expected {self._width}x{self._depth}"
+            )
+        self._conservative = revived._conservative
+        self._hashes = revived._hashes
+        self._table = revived._table
+        self._total = revived._total
+        self._update_count = revived._update_count
+
+    @classmethod
+    def from_state(cls, state: dict) -> "CountMinSketch":
+        """Revive a sketch from a :meth:`state_dict` snapshot."""
+        sketch = cls.__new__(cls)
+        sketch._width = require_positive_int(state["width"], "width")
+        sketch._depth = require_positive_int(state["depth"], "depth")
+        sketch._conservative = bool(state["conservative"])
+        if len(state["hash_a"]) != sketch._depth:
+            raise ValueError(
+                f"state has {len(state['hash_a'])} hash rows, expected {sketch._depth}"
+            )
+        sketch._hashes = PairwiseHashFamily.from_coefficients(
+            sketch._width, state["hash_a"], state["hash_b"]
+        )
+        table = np.asarray(state["table"], dtype=np.float64)
+        if table.shape != (sketch._depth, sketch._width):
+            raise ValueError(
+                f"state table has shape {table.shape}, expected "
+                f"({sketch._depth}, {sketch._width})"
+            )
+        sketch._table = table.copy()
+        sketch._rows = np.arange(sketch._depth)
+        sketch._total = float(state["total"])
+        sketch._update_count = int(state["update_count"])
+        return sketch
+
     def compatible_empty(self) -> "CountMinSketch":
         """Return an empty sketch sharing this sketch's dimensions and hash family."""
         clone = CountMinSketch.__new__(CountMinSketch)

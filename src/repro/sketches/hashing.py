@@ -25,6 +25,10 @@ MERSENNE_PRIME_61 = (1 << 61) - 1
 
 _GOLDEN_GAMMA = 0x9E3779B97F4A7C15
 
+_U64 = np.uint64
+_MASK32 = _U64(0xFFFFFFFF)
+_M61 = _U64(MERSENNE_PRIME_61)
+
 
 def _splitmix64(value: int) -> int:
     """Finalize a 64-bit integer with the splitmix64 mixing function."""
@@ -32,6 +36,61 @@ def _splitmix64(value: int) -> int:
     value = ((value ^ (value >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
     value = ((value ^ (value >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
     return value ^ (value >> 31)
+
+
+def splitmix64_batch(values: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`_splitmix64` over an array of uint64 values.
+
+    Bit-identical to the scalar path: numpy uint64 arithmetic wraps modulo
+    2^64 exactly like the explicit masking above.
+    """
+    v = np.asarray(values, dtype=np.uint64) + _U64(_GOLDEN_GAMMA)
+    v = (v ^ (v >> _U64(30))) * _U64(0xBF58476D1CE4E5B9)
+    v = (v ^ (v >> _U64(27))) * _U64(0x94D049BB133111EB)
+    return v ^ (v >> _U64(31))
+
+
+def pair_keys_to_uint64(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
+    """Canonicalize integer ``(source, target)`` edge keys, vectorized.
+
+    Bit-identical to ``key_to_uint64((int(s), int(t)))`` per element: each
+    endpoint is mixed through splitmix64, then combined with the polynomial
+    rolling mix used for tuples.  Signed inputs wrap to their two's-complement
+    uint64 representation, matching the scalar path's ``& 0xFFFF...``.
+    """
+    hs = splitmix64_batch(np.asarray(sources).astype(np.uint64, copy=False))
+    ht = splitmix64_batch(np.asarray(targets).astype(np.uint64, copy=False))
+    acc = splitmix64_batch(_U64(_GOLDEN_GAMMA) ^ hs)
+    return splitmix64_batch(acc ^ ht)
+
+
+def _mulmod_mersenne61(a: int, values: np.ndarray) -> np.ndarray:
+    """``(a * values) mod (2^61 - 1)`` for a scalar ``a < 2^61`` over uint64 values.
+
+    The 128-bit product is assembled from 32-bit limbs (every partial product
+    fits in a uint64 because ``a < 2^61`` implies ``a_hi < 2^29``), then folded
+    modulo the Mersenne prime using ``2^64 ≡ 8`` and ``2^61 ≡ 1``.
+    """
+    a_lo = _U64(a & 0xFFFFFFFF)
+    a_hi = _U64(a >> 32)
+    x_lo = values & _MASK32
+    x_hi = values >> _U64(32)
+
+    ll = a_lo * x_lo
+    t = a_hi * x_lo + (ll >> _U64(32))
+    mid2 = a_lo * x_hi
+    s = t + mid2
+    carry = (s < t).astype(np.uint64)
+    hi = a_hi * x_hi + (s >> _U64(32)) + (carry << _U64(32))
+    lo = (s << _U64(32)) | (ll & _MASK32)
+
+    # product = hi * 2^64 + lo; fold into [0, 2^62) then reduce.
+    top = (hi << _U64(3)) | (lo >> _U64(61))
+    r = top + (lo & _M61)
+    r = r + (r < top).astype(np.uint64) * _U64(8)  # 2^64 ≡ 8 (mod p)
+    r = (r & _M61) + (r >> _U64(61))
+    r = (r & _M61) + (r >> _U64(61))
+    return np.where(r >= _M61, r - _M61, r)
 
 
 def key_to_uint64(key: Hashable) -> int:
@@ -88,6 +147,30 @@ class PairwiseHashFamily:
         self._a = rng.integers(1, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
         self._b = rng.integers(0, MERSENNE_PRIME_61, size=self.depth, dtype=np.uint64)
 
+    @classmethod
+    def from_coefficients(
+        cls, width: int, a: Sequence[int], b: Sequence[int]
+    ) -> "PairwiseHashFamily":
+        """Reconstruct a family from explicit ``(a, b)`` coefficient vectors.
+
+        Used when deserializing sketch state: a sketch populated in one
+        process must hash identically after being revived in another.
+        """
+        if len(a) != len(b) or not a:
+            raise ValueError("coefficient vectors must be non-empty and equal length")
+        family = cls.__new__(cls)
+        family.depth = len(a)
+        family.width = require_positive_int(width, "width")
+        family._a = np.asarray(a, dtype=np.uint64)
+        family._b = np.asarray(b, dtype=np.uint64)
+        for coeff in family._a.tolist():
+            if not 1 <= coeff < MERSENNE_PRIME_61:
+                raise ValueError(f"coefficient a={coeff} outside [1, 2^61-1)")
+        for coeff in family._b.tolist():
+            if not 0 <= coeff < MERSENNE_PRIME_61:
+                raise ValueError(f"coefficient b={coeff} outside [0, 2^61-1)")
+        return family
+
     def indices(self, key: Hashable) -> np.ndarray:
         """Return the ``depth`` cell indices for ``key`` (one per row)."""
         return self.indices_for_uint64(key_to_uint64(key))
@@ -104,19 +187,24 @@ class PairwiseHashFamily:
     def indices_batch(self, values: Sequence[int] | np.ndarray) -> np.ndarray:
         """Vectorized cell indices for many pre-canonicalized keys.
 
+        The modular arithmetic runs entirely in uint64 numpy kernels (see
+        :func:`_mulmod_mersenne61`), producing bit-identical indices to
+        :meth:`indices_for_uint64` at a fraction of the per-key cost.
+
         Args:
             values: 1-D sequence of unsigned 64-bit key integers.
 
         Returns:
             Array of shape ``(depth, len(values))`` with column indices.
         """
-        vals = np.asarray(values, dtype=np.uint64).astype(object)
-        out = np.empty((self.depth, len(vals)), dtype=np.int64)
+        vals = np.ascontiguousarray(values, dtype=np.uint64)
+        width = _U64(self.width)
+        out = np.empty((self.depth, vals.size), dtype=np.int64)
         for row in range(self.depth):
-            a = int(self._a[row])
-            b = int(self._b[row])
-            mixed = (vals * a + b) % MERSENNE_PRIME_61 % self.width
-            out[row, :] = mixed.astype(np.int64)
+            mixed = _mulmod_mersenne61(int(self._a[row]), vals)
+            mixed = mixed + _U64(int(self._b[row]))
+            mixed = np.where(mixed >= _M61, mixed - _M61, mixed)
+            out[row, :] = (mixed % width).astype(np.int64)
         return out
 
     def coefficients(self) -> Iterable[tuple[int, int]]:

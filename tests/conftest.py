@@ -1,0 +1,57 @@
+"""Shared fixtures: small deterministic streams and configurations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GSketchConfig
+from repro.datasets.zipf import bounded_zipf_sample
+from repro.graph.sampling import reservoir_sample
+from repro.graph.stream import GraphStream
+from repro.utils.rng import resolve_rng
+
+
+def make_zipf_stream(
+    num_edges: int = 6_000,
+    population: int = 300,
+    exponent: float = 1.2,
+    seed: int = 11,
+    name: str = "zipf-test",
+) -> GraphStream:
+    """A small Zipf-source stream with heavy-hitter sources and repeats."""
+    rng = resolve_rng(seed)
+    sources = bounded_zipf_sample(population, num_edges, exponent, seed=rng)
+    targets = rng.integers(0, population, size=num_edges)
+    return GraphStream.from_tuples(
+        (int(s), int(t), float(i), 1.0)
+        for i, (s, t) in enumerate(zip(sources, targets))
+    )
+
+
+@pytest.fixture(scope="session")
+def zipf_stream() -> GraphStream:
+    return make_zipf_stream()
+
+
+@pytest.fixture(scope="session")
+def zipf_sample(zipf_stream: GraphStream) -> GraphStream:
+    return reservoir_sample(zipf_stream, 1_500, seed=5)
+
+
+@pytest.fixture(scope="session")
+def small_config() -> GSketchConfig:
+    return GSketchConfig(total_cells=8_000, depth=4, seed=7)
+
+
+@pytest.fixture(scope="session")
+def weighted_stream() -> GraphStream:
+    """A stream with non-unit, fractional frequencies (exercises float paths)."""
+    rng = np.random.default_rng(23)
+    sources = rng.integers(0, 60, size=2_000)
+    targets = rng.integers(0, 60, size=2_000)
+    freqs = rng.integers(1, 9, size=2_000).astype(np.float64) * 0.5
+    return GraphStream.from_tuples(
+        (int(s), int(t), float(i), float(f))
+        for i, (s, t, f) in enumerate(zip(sources, targets, freqs))
+    )

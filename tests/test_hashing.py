@@ -1,0 +1,75 @@
+"""Bit-parity tests for the vectorized hashing kernels."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sketches.hashing import (
+    MERSENNE_PRIME_61,
+    PairwiseHashFamily,
+    key_to_uint64,
+    pair_keys_to_uint64,
+    splitmix64_batch,
+)
+
+EDGE_CASE_KEYS = np.array(
+    [0, 1, 2, MERSENNE_PRIME_61 - 1, MERSENNE_PRIME_61, MERSENNE_PRIME_61 + 1,
+     2**32 - 1, 2**32, 2**63 - 1, 2**63, 2**64 - 1],
+    dtype=np.uint64,
+)
+
+
+def test_indices_batch_bit_identical_to_scalar_path():
+    rng = np.random.default_rng(0)
+    family = PairwiseHashFamily(depth=5, width=1021, seed=3)
+    values = np.concatenate(
+        [rng.integers(0, 2**63, size=2_000, dtype=np.uint64) * 2
+         + rng.integers(0, 2, size=2_000, dtype=np.uint64),
+         EDGE_CASE_KEYS]
+    )
+    batch = family.indices_batch(values)
+    assert batch.shape == (5, len(values))
+    for column, value in enumerate(values.tolist()):
+        assert np.array_equal(family.indices_for_uint64(int(value)), batch[:, column])
+
+
+def test_indices_batch_width_one():
+    family = PairwiseHashFamily(depth=2, width=1, seed=1)
+    assert np.all(family.indices_batch(EDGE_CASE_KEYS) == 0)
+
+
+def test_splitmix64_batch_matches_scalar():
+    from repro.sketches.hashing import _splitmix64
+
+    values = EDGE_CASE_KEYS
+    batch = splitmix64_batch(values)
+    for i, value in enumerate(values.tolist()):
+        assert int(batch[i]) == _splitmix64(int(value))
+
+
+def test_pair_keys_match_tuple_canonicalization():
+    rng = np.random.default_rng(2)
+    sources = rng.integers(-(2**40), 2**40, size=1_000)
+    targets = rng.integers(0, 2**50, size=1_000)
+    vectorized = pair_keys_to_uint64(sources, targets)
+    for i in range(len(sources)):
+        expected = key_to_uint64((int(sources[i]), int(targets[i])))
+        assert int(vectorized[i]) == expected
+
+
+def test_from_coefficients_round_trip():
+    family = PairwiseHashFamily(depth=4, width=333, seed=9)
+    a, b = zip(*family.coefficients())
+    clone = PairwiseHashFamily.from_coefficients(333, list(a), list(b))
+    values = EDGE_CASE_KEYS
+    assert np.array_equal(clone.indices_batch(values), family.indices_batch(values))
+
+
+def test_from_coefficients_validates():
+    with pytest.raises(ValueError):
+        PairwiseHashFamily.from_coefficients(8, [0], [0])  # a must be non-zero
+    with pytest.raises(ValueError):
+        PairwiseHashFamily.from_coefficients(8, [1], [MERSENNE_PRIME_61])
+    with pytest.raises(ValueError):
+        PairwiseHashFamily.from_coefficients(8, [], [])

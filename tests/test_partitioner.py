@@ -1,0 +1,64 @@
+"""Invariants of the offline sketch-partitioning phase."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import GSketchConfig
+from repro.core.gsketch import GSketch
+from repro.core.partitioner import build_partition_tree
+from repro.graph.statistics import VertexStatistics
+from repro.graph.stream import GraphStream
+
+
+@pytest.fixture(scope="module", params=["rebalanced", "halving"])
+def built_tree(request, zipf_sample):
+    config = GSketchConfig(
+        total_cells=8_000, depth=4, seed=7, width_allocation=request.param
+    )
+    stats = VertexStatistics.from_stream(zipf_sample)
+    return config, stats, build_partition_tree(stats, config)
+
+
+def test_width_budget_conserved(built_tree):
+    """Leaf widths plus unredistributable surplus never exceed the budget."""
+    config, _stats, tree = built_tree
+    assert tree.total_leaf_width() + tree.surplus_width <= config.partitioned_width
+    assert tree.surplus_width >= 0
+    for leaf in tree.leaves:
+        assert leaf.width >= 1
+
+
+def test_leaves_partition_the_sampled_vertices(built_tree):
+    """Every sampled source vertex lands in exactly one leaf."""
+    _config, stats, tree = built_tree
+    seen = {}
+    for leaf in tree.leaves:
+        for vertex in leaf.vertices:
+            assert vertex not in seen, f"vertex {vertex} in two leaves"
+            seen[vertex] = leaf.index
+    assert set(seen) == set(stats.vertices())
+
+
+def test_leaf_reasons_are_valid(built_tree):
+    _config, _stats, tree = built_tree
+    valid = {"width_floor", "collision_bound", "too_few_vertices"}
+    for leaf in tree.leaves:
+        assert leaf.leaf_reason in valid
+
+
+def test_outlier_reserve_is_honoured(zipf_sample, small_config):
+    """The outlier sketch receives at least the configured reserve."""
+    gsketch = GSketch.build(zipf_sample, small_config)
+    assert gsketch.outlier_sketch.width >= small_config.outlier_width
+    # Overall cells stay within budget plus the depth-rounding slack.
+    assert gsketch.memory_cells <= small_config.total_cells
+
+
+def test_empty_sample_degenerates_to_outlier_only():
+    config = GSketchConfig(total_cells=1_000, depth=4, seed=1)
+    empty = GraphStream([], name="empty")
+    gsketch = GSketch.build(empty, config)
+    gsketch.update("never-seen", "target")
+    assert gsketch.outlier_elements == 1
+    assert gsketch.is_outlier_query(("never-seen", "target"))

@@ -1,0 +1,41 @@
+"""Smoke test for the throughput benchmark runner."""
+
+from __future__ import annotations
+
+import json
+
+from repro.experiments.throughput import main, run_throughput
+
+
+def test_run_throughput_reports_all_modes():
+    report = run_throughput(
+        num_edges=1_500,
+        shard_counts=(1, 2),
+        batch_size=512,
+        total_cells=4_000,
+        sample_size=300,
+        parity_queries=50,
+    )
+    assert report["parity_ok"] is True
+    modes = {(row["dataset"], row["mode"]) for row in report["results"]}
+    for dataset in ("rmat", "zipf"):
+        assert (dataset, "per-edge") in modes
+        assert (dataset, "batched") in modes
+        assert (dataset, "sharded-1") in modes
+        assert (dataset, "sharded-2") in modes
+    for row in report["results"]:
+        assert row["edges_per_second"] > 0
+        if row["mode"] != "per-edge":
+            assert row["speedup_vs_per_edge"] > 0
+
+
+def test_main_writes_report(tmp_path, monkeypatch, capsys):
+    output = tmp_path / "bench.json"
+    # Shrink the workload below even --quick for test speed.
+    monkeypatch.setattr("repro.experiments.throughput.QUICK_EDGES", 800)
+    exit_code = main(["--quick", "--output", str(output), "--batch-size", "256"])
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["parity_ok"] is True
+    assert report["config"]["num_edges"] == 800
+    assert "edges/s" in capsys.readouterr().out
