@@ -10,8 +10,13 @@ from repro.core.errors import (
 from repro.core.estimator import ConfidenceInterval, countmin_confidence
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
-from repro.core.partition_tree import PartitionLeaf, PartitionNode, PartitionTree
-from repro.core.partitioner import build_partition_tree
+from repro.core.partition_tree import (
+    LeafAssignments,
+    PartitionLeaf,
+    PartitionNode,
+    PartitionTree,
+)
+from repro.core.partitioner import build_partition_tree, build_partition_tree_scalar
 from repro.core.router import OUTLIER_PARTITION, VertexRouter
 from repro.core.windowed import WindowedGSketch
 
@@ -20,6 +25,7 @@ __all__ = [
     "GSketch",
     "GSketchConfig",
     "GlobalSketch",
+    "LeafAssignments",
     "OUTLIER_PARTITION",
     "PartitionLeaf",
     "PartitionNode",
@@ -27,6 +33,7 @@ __all__ = [
     "VertexRouter",
     "WindowedGSketch",
     "build_partition_tree",
+    "build_partition_tree_scalar",
     "countmin_confidence",
     "partition_error_data_only",
     "partition_error_with_workload",

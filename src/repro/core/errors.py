@@ -44,17 +44,15 @@ def partition_error_data_only(
 ) -> float:
     """Expected relative error of one partition, data-sample scenario (Eq. 6)."""
     require_positive_int(width, "width")
-    if not vertices:
+    if not len(vertices):
         return 0.0
-    total_frequency = sum(stats.frequency(v) for v in vertices)
-    error = 0.0
-    degree_sum = 0.0
-    for vertex in vertices:
-        degree = stats.degree(vertex)
-        if degree <= 0:
-            continue
-        error += degree * total_frequency / (width * _average_frequency(stats, vertex))
-        degree_sum += degree
+    freq, deg = stats.columns_for(vertices)
+    total_frequency = float(freq.sum())
+    contributing = deg > 0
+    average = np.where(contributing, freq / np.where(contributing, deg, 1.0), 0.0)
+    average = np.where(average > 0, average, 1e-12)
+    error = float((deg * total_frequency / (width * average))[contributing].sum())
+    degree_sum = float(deg[contributing].sum())
     return error - degree_sum / width
 
 
@@ -66,17 +64,21 @@ def partition_error_with_workload(
 ) -> float:
     """Expected relative error of one partition, workload scenario (Eq. 10)."""
     require_positive_int(width, "width")
-    if not vertices:
+    if not len(vertices):
         return 0.0
-    total_frequency = sum(stats.frequency(v) for v in vertices)
-    error = 0.0
-    weight_sum = 0.0
-    for vertex in vertices:
-        weight = workload_weights.get(vertex, 0.0)
-        if weight <= 0:
-            continue
-        error += weight * total_frequency / (width * _average_frequency(stats, vertex))
-        weight_sum += weight
+    freq, deg = stats.columns_for(vertices)
+    weights = np.fromiter(
+        (workload_weights.get(v, 0.0) for v in vertices),
+        dtype=np.float64,
+        count=len(vertices),
+    )
+    total_frequency = float(freq.sum())
+    positive = deg > 0
+    average = np.where(positive, freq / np.where(positive, deg, 1.0), 0.0)
+    average = np.where(average > 0, average, 1e-12)
+    contributing = weights > 0
+    error = float((weights * total_frequency / (width * average))[contributing].sum())
+    weight_sum = float(weights[contributing].sum())
     return error - weight_sum / width
 
 
@@ -104,19 +106,24 @@ class SplitDecision:
         return self.order[self.pivot :]
 
 
-def _best_pivot(
-    order: List[Hashable],
-    frequency_terms: np.ndarray,
-    ratio_terms: np.ndarray,
-) -> SplitDecision:
+def best_split_index(
+    frequency_terms: np.ndarray, ratio_terms: np.ndarray
+) -> Tuple[int, float]:
     """Minimize ``E' = F(S1) * G(S1) + F(S2) * G(S2)`` over contiguous splits.
 
     ``frequency_terms[i]`` is vertex ``i``'s contribution to ``F̃(S)`` and
     ``ratio_terms[i]`` its contribution to the ``sum_m coeff(m) / avg(m)``
     factor (``G``).  Both objectives 9 and 11 factor into this form, so a
-    single prefix-sum pass evaluates every pivot.
+    single prefix-sum pass evaluates every pivot.  This kernel is shared by
+    the per-node :class:`SplitDecision` evaluators below and by the columnar
+    partition-tree builder, which calls it on contiguous slices of globally
+    pre-sorted term columns.
+
+    Returns:
+        ``(pivot, objective)`` where ``pivot`` is the number of left-child
+        vertices (``1 <= pivot < n``; ties resolve to the smallest pivot).
     """
-    n = len(order)
+    n = len(frequency_terms)
     if n < 2:
         raise ValueError("cannot split fewer than two vertices")
     freq_prefix = np.cumsum(frequency_terms)
@@ -124,18 +131,23 @@ def _best_pivot(
     total_freq = freq_prefix[-1]
     total_ratio = ratio_prefix[-1]
 
-    pivots = np.arange(1, n)
     left_freq = freq_prefix[:-1]
     left_ratio = ratio_prefix[:-1]
     right_freq = total_freq - left_freq
     right_ratio = total_ratio - left_ratio
     objectives = left_freq * left_ratio + right_freq * right_ratio
     best_index = int(np.argmin(objectives))
-    return SplitDecision(
-        pivot=int(pivots[best_index]),
-        objective=float(objectives[best_index]),
-        order=tuple(order),
-    )
+    return best_index + 1, float(objectives[best_index])
+
+
+def _best_pivot(
+    order: List[Hashable],
+    frequency_terms: np.ndarray,
+    ratio_terms: np.ndarray,
+) -> SplitDecision:
+    """Evaluate every contiguous split of a sorted vertex list (see above)."""
+    pivot, objective = best_split_index(frequency_terms, ratio_terms)
+    return SplitDecision(pivot=pivot, objective=objective, order=tuple(order))
 
 
 def split_objective_data_only(

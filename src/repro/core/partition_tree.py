@@ -12,6 +12,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Hashable, Iterator, List, Optional, Tuple
 
+import numpy as np
+
 
 @dataclass
 class PartitionNode:
@@ -64,6 +66,29 @@ class PartitionLeaf:
     leaf_reason: str
 
 
+@dataclass(frozen=True)
+class LeafAssignments:
+    """Columnar vertex → leaf-index assignment produced by the columnar builder.
+
+    The three columns are parallel and ordered by the builder's single global
+    sort, so each leaf occupies one contiguous range.
+
+    Attributes:
+        labels: vertex labels, one per routed vertex.
+        int_labels: the same labels as an ``int64`` column when the label
+            space is pure integers (enables fully vectorized router
+            construction), else ``None``.
+        partitions: leaf index per vertex, aligned with ``labels``.
+    """
+
+    labels: List[Hashable]
+    int_labels: Optional[np.ndarray]
+    partitions: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.labels)
+
+
 @dataclass
 class PartitionTree:
     """The full partitioning tree plus its flattened leaves.
@@ -75,11 +100,15 @@ class PartitionTree:
             redistributed to any other partition (all leaves were shrunk); the
             sketch hands it to the outlier partition so the configured budget
             is never wasted.
+        leaf_assignments: columnar vertex → leaf assignment (set by the
+            columnar builder; ``None`` for trees built by the scalar
+            reference, which fall back to the per-leaf vertex tuples).
     """
 
     root: PartitionNode
     leaves: List[PartitionLeaf] = field(default_factory=list)
     surplus_width: int = 0
+    leaf_assignments: Optional[LeafAssignments] = None
 
     def __len__(self) -> int:
         return len(self.leaves)
@@ -116,6 +145,10 @@ class PartitionTree:
 
     def vertex_partition_map(self) -> dict:
         """Map every vertex to its leaf index (the raw material of the router)."""
+        if self.leaf_assignments is not None:
+            return dict(
+                zip(self.leaf_assignments.labels, self.leaf_assignments.partitions.tolist())
+            )
         mapping = {}
         for leaf in self.leaves:
             for vertex in leaf.vertices:

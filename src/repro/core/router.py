@@ -8,9 +8,12 @@ are routed to the dedicated outlier partition.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, Mapping, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from repro.core.partition_tree import PartitionTree
 
 #: Sentinel partition index meaning "the outlier sketch".
 OUTLIER_PARTITION = -1
@@ -38,6 +41,69 @@ class VertexRouter:
         self._assignments: Dict[Hashable, int] = dict(assignments)
         self._num_partitions = num_partitions
         self._int_lookup = self._build_int_lookup()
+
+    @classmethod
+    def from_arrays(
+        cls,
+        labels: Sequence[Hashable],
+        int_labels: Optional[np.ndarray],
+        partitions: np.ndarray,
+        num_partitions: int,
+    ) -> "VertexRouter":
+        """Build a router from parallel assignment columns, vectorized.
+
+        Validation is one min/max reduction instead of a per-vertex range
+        check, and for integer label spaces the ``searchsorted`` lookup table
+        comes from a single argsort of ``int_labels`` — no per-vertex Python
+        work beyond the (C-speed) construction of the scalar fallback dict.
+
+        Args:
+            labels: vertex labels, one per routed vertex.
+            int_labels: the same labels as an ``int64`` array when the label
+                space is pure integers, else ``None``.
+            partitions: partition index per vertex, aligned with ``labels``.
+            num_partitions: number of non-outlier partitions.
+        """
+        if num_partitions < 0:
+            raise ValueError("num_partitions must be >= 0")
+        partitions = np.asarray(partitions, dtype=np.int64)
+        if len(partitions) != len(labels):
+            raise ValueError("labels and partitions must be parallel columns")
+        if len(partitions) and (
+            partitions.min() < 0 or partitions.max() >= num_partitions
+        ):
+            raise ValueError(
+                f"partition indices must lie in [0, {num_partitions}), got range "
+                f"[{int(partitions.min())}, {int(partitions.max())}]"
+            )
+        router = cls.__new__(cls)
+        router._assignments = dict(zip(labels, partitions.tolist()))
+        router._num_partitions = num_partitions
+        if int_labels is not None and len(int_labels) == len(labels) and len(labels):
+            int_labels = np.asarray(int_labels, dtype=np.int64)
+            order = np.argsort(int_labels, kind="stable")
+            router._int_lookup = (int_labels[order], partitions[order])
+        else:
+            router._int_lookup = router._build_int_lookup()
+        return router
+
+    @classmethod
+    def from_tree(cls, tree: "PartitionTree") -> "VertexRouter":
+        """Build the hash structure ``H`` for a partitioning tree.
+
+        Trees from the columnar builder carry ready-made assignment columns
+        (:attr:`~repro.core.partition_tree.PartitionTree.leaf_assignments`);
+        scalar-built trees fall back to the per-leaf vertex tuples.
+        """
+        assignments = tree.leaf_assignments
+        if assignments is None:
+            return cls(tree.vertex_partition_map(), num_partitions=len(tree.leaves))
+        return cls.from_arrays(
+            labels=assignments.labels,
+            int_labels=assignments.int_labels,
+            partitions=assignments.partitions,
+            num_partitions=len(tree.leaves),
+        )
 
     def _build_int_lookup(self) -> Optional[Tuple[np.ndarray, np.ndarray]]:
         """Sorted ``(keys, partitions)`` arrays for vectorized integer routing.

@@ -26,6 +26,7 @@ Every configuration produces counters bit-identical to a single
 from repro.distributed.batch_router import BatchRouter, PartitionGroup, RoutedBatch
 from repro.distributed.coordinator import ShardedGSketch
 from repro.distributed.executor import (
+    InstrumentedExecutor,
     ProcessPoolExecutor,
     SequentialExecutor,
     ShardExecutor,
@@ -36,6 +37,7 @@ from repro.distributed.shard import SketchShard
 
 __all__ = [
     "BatchRouter",
+    "InstrumentedExecutor",
     "PartitionGroup",
     "ProcessPoolExecutor",
     "RoutedBatch",

@@ -127,7 +127,7 @@ class ShardedGSketch:
         """
         stats = GSketch._sample_statistics(sample, stream_size_hint)
         tree = build_partition_tree(stats, config, workload_weights=None)
-        router = VertexRouter(tree.vertex_partition_map(), num_partitions=len(tree.leaves))
+        router = VertexRouter.from_tree(tree)
         return cls(
             config=config,
             tree=tree,

@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import time
 import traceback
 from typing import Dict, List, Mapping, Optional, Protocol, Sequence
 
@@ -113,6 +114,76 @@ class ThreadPoolExecutor:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+
+
+class _TimedShard:
+    """Proxy that forwards :meth:`apply` while accumulating busy seconds."""
+
+    __slots__ = ("_shard", "_busy")
+
+    def __init__(self, shard: SketchShard, busy: Dict[int, float]) -> None:
+        self._shard = shard
+        self._busy = busy
+
+    @property
+    def index(self) -> int:
+        return self._shard.index
+
+    def apply(self, groups: Sequence[PartitionGroup]) -> None:
+        start = time.perf_counter()
+        self._shard.apply(groups)
+        self._busy[self._shard.index] += time.perf_counter() - start
+
+    def __getattr__(self, name: str):
+        return getattr(self._shard, name)
+
+
+class InstrumentedExecutor:
+    """Timing decorator around an in-process :class:`ShardExecutor`.
+
+    Records, across all batches,
+
+    * ``apply_wall_seconds`` — wall time the coordinator spends inside
+      :meth:`apply` (dispatch + execution + join), and
+    * ``shard_busy_seconds`` — per-shard time spent actually applying groups.
+
+    The gap between the ingest wall time and ``apply_wall_seconds`` is the
+    coordinator-resident work (columnarization, hashing, routing, grouping),
+    which runs serially regardless of the shard count — the breakdown the
+    throughput benchmark uses to explain why more shards can be slower.
+
+    Only meaningful for in-process backends (`SequentialExecutor`,
+    `ThreadPoolExecutor`): :class:`ProcessPoolExecutor` applies work in worker
+    processes, where the proxies' timers never run.
+    """
+
+    def __init__(self, inner: ShardExecutor) -> None:
+        self.inner = inner
+        self.shard_busy_seconds: Dict[int, float] = {}
+        self.apply_wall_seconds = 0.0
+        self.batches = 0
+
+    def start(self, shards: Sequence[SketchShard]) -> None:
+        for shard in shards:
+            self.shard_busy_seconds.setdefault(shard.index, 0.0)
+        self.inner.start(shards)
+
+    def apply(
+        self,
+        shards: Sequence[SketchShard],
+        work: Mapping[int, Sequence[PartitionGroup]],
+    ) -> None:
+        proxies = [_TimedShard(shard, self.shard_busy_seconds) for shard in shards]
+        start = time.perf_counter()
+        self.inner.apply(proxies, work)
+        self.apply_wall_seconds += time.perf_counter() - start
+        self.batches += 1
+
+    def sync(self, shards: Sequence[SketchShard]) -> None:
+        self.inner.sync(shards)
+
+    def close(self) -> None:
+        self.inner.close()
 
 
 def _shard_worker(conn, payload: bytes) -> None:

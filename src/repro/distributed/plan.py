@@ -87,7 +87,8 @@ class ShardPlan:
         weights: Dict[int, float] = {}
         for leaf in tree.leaves:
             if stats is not None:
-                weight = float(sum(stats.frequency(v) for v in leaf.vertices))
+                # Vectorized gather + sum over the leaf's vertex group.
+                weight = stats.frequency_sum(leaf.vertices)
             else:
                 weight = float(leaf.width)
             weights[leaf.index] = weight

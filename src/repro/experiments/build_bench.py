@@ -1,0 +1,289 @@
+"""Offline partition-build benchmark: scalar reference vs columnar builder.
+
+The ROADMAP demands that hot-path speedups be *tracked artifacts*, not
+claims.  This runner measures the Section-4 sketch-partitioning phase —
+vertex census → (extrapolated) statistics → ``build_partition_tree`` — at
+several sample sizes and compares
+
+* ``scalar``   — :func:`~repro.core.partitioner.build_partition_tree_scalar`,
+  the pre-columnar reference (per-node Python re-sorts, per-vertex dict
+  lookups);
+* ``columnar`` — :func:`~repro.core.partitioner.build_partition_tree`, the
+  single-sort prefix-sum build path,
+
+for both the data-only (Figure 2) and workload-aware (Figure 3) objectives,
+verifies that the two paths produce **leaf-for-leaf identical trees**, and
+writes the results to ``BENCH_build.json``.
+
+Run it from the repo root::
+
+    python experiments/build_bench.py              # full run (up to 600k edges)
+    python experiments/build_bench.py --quick      # CI smoke (20k edges)
+
+The full run fails (exit 1) unless the columnar build is at least
+``--min-speedup`` (default 10×) faster than the scalar reference on every
+sample of at least 500k edges; ``--max-seconds`` optionally enforces a
+wall-clock ceiling on the columnar build (used by the CI smoke step).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import asdict, dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import GSketchConfig
+from repro.core.partition_tree import PartitionTree
+from repro.core.partitioner import (
+    build_partition_tree,
+    build_partition_tree_scalar,
+    workload_vertex_weights,
+)
+from repro.datasets.rmat import RMATConfig, generate_rmat_edges
+from repro.graph.statistics import VertexStatistics
+
+DEFAULT_SAMPLE_SIZES = (50_000, 200_000, 600_000)
+QUICK_SAMPLE_SIZES = (20_000,)
+DEFAULT_OUTPUT = "BENCH_build.json"
+#: The acceptance bar applies to samples at least this large.
+SPEEDUP_GATE_EDGES = 500_000
+#: Assumed stream-to-sample ratio: statistics are extrapolated as
+#: ``GSketch.build`` would with ``stream_size_hint = 4 * len(sample)``,
+#: exercising the fractional-degree code paths the real build hits.
+STREAM_SIZE_MULTIPLIER = 4
+
+
+@dataclass(frozen=True)
+class BuildResult:
+    """One (sample size, scenario) measurement."""
+
+    sample_edges: int
+    sample_vertices: int
+    scenario: str
+    census_seconds: float
+    scalar_seconds: float
+    columnar_seconds: float
+    speedup: float
+    leaves: int
+    trees_identical: bool
+
+
+def trees_equal(a: PartitionTree, b: PartitionTree) -> bool:
+    """Leaf-for-leaf equality: same groups, widths, reasons and surplus."""
+    if len(a.leaves) != len(b.leaves) or a.surplus_width != b.surplus_width:
+        return False
+    for leaf_a, leaf_b in zip(a.leaves, b.leaves):
+        if (
+            leaf_a.index != leaf_b.index
+            or leaf_a.vertices != leaf_b.vertices
+            or leaf_a.width != leaf_b.width
+            or leaf_a.nominal_width != leaf_b.nominal_width
+            or leaf_a.leaf_reason != leaf_b.leaf_reason
+        ):
+            return False
+    return True
+
+
+def sample_statistics(
+    num_edges: int, seed: int
+) -> Tuple[VertexStatistics, float]:
+    """Extrapolated vertex statistics for an R-MAT sample of ``num_edges``.
+
+    The R-MAT scale grows with the sample so the vertex population keeps pace
+    (roughly one source vertex per 4–6 sample edges), matching the regime
+    where the scalar build's per-vertex Python work dominates.
+
+    Returns the statistics plus the census seconds (the vectorized
+    :meth:`~repro.graph.statistics.VertexStatistics.from_arrays` pass).
+    """
+    scale = max(10, int(num_edges).bit_length() - 2)
+    sources, targets = generate_rmat_edges(
+        RMATConfig(seed=seed, scale=scale, num_edges=num_edges)
+    )
+    start = time.perf_counter()
+    stats = VertexStatistics.from_arrays(sources, targets)
+    stats = stats.extrapolated(1.0 / STREAM_SIZE_MULTIPLIER)
+    census_seconds = time.perf_counter() - start
+    return stats, census_seconds
+
+
+def synthetic_workload_weights(stats: VertexStatistics) -> Dict:
+    """Deterministic workload weights over a third of the sampled vertices."""
+    ids = stats.ids
+    frequencies = stats.frequencies
+    counts = {
+        vertex: float(frequency) + 1.0
+        for vertex, frequency in zip(ids[::3], frequencies[::3].tolist())
+    }
+    return workload_vertex_weights(stats, counts)
+
+
+def _time_build(builder, stats, config, weights, repeats: int) -> Tuple[float, PartitionTree]:
+    best = float("inf")
+    tree: Optional[PartitionTree] = None
+    for _ in range(max(1, repeats)):
+        start = time.perf_counter()
+        tree = builder(stats, config, weights)
+        best = min(best, time.perf_counter() - start)
+    assert tree is not None
+    return best, tree
+
+
+def run_build_bench(
+    sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
+    depth: int = 4,
+    seed: int = 7,
+    repeats: int = 2,
+) -> Dict[str, object]:
+    """Benchmark both builders at every sample size; returns the report.
+
+    The cell budget scales with the sample (``total_cells = edges / 4``) so
+    the Theorem-1 criterion does not terminate the root immediately — the
+    realistic regime where the budget is far smaller than the stream and the
+    partitioning tree recurses to the width floor.
+    """
+    results: List[BuildResult] = []
+    all_identical = True
+
+    for num_edges in sample_sizes:
+        config = GSketchConfig(
+            total_cells=max(depth, num_edges // 4), depth=depth, seed=seed
+        )
+        stats, census_seconds = sample_statistics(num_edges, seed)
+        scenarios = [
+            ("data-only", None),
+            ("workload-aware", synthetic_workload_weights(stats)),
+        ]
+        for scenario, weights in scenarios:
+            scalar_seconds, scalar_tree = _time_build(
+                build_partition_tree_scalar, stats, config, weights, repeats
+            )
+            columnar_seconds, columnar_tree = _time_build(
+                build_partition_tree, stats, config, weights, repeats
+            )
+            identical = trees_equal(scalar_tree, columnar_tree)
+            all_identical &= identical
+            results.append(
+                BuildResult(
+                    sample_edges=num_edges,
+                    sample_vertices=len(stats),
+                    scenario=scenario,
+                    census_seconds=round(census_seconds, 6),
+                    scalar_seconds=round(scalar_seconds, 6),
+                    columnar_seconds=round(columnar_seconds, 6),
+                    speedup=round(scalar_seconds / columnar_seconds, 2),
+                    leaves=len(columnar_tree.leaves),
+                    trees_identical=identical,
+                )
+            )
+
+    return {
+        "benchmark": "partition-build",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "total_cells": "sample_edges / 4 (scales with the sample)",
+            "depth": depth,
+            "seed": seed,
+            "repeats": repeats,
+            "sample_sizes": list(sample_sizes),
+            "stream_size_multiplier": STREAM_SIZE_MULTIPLIER,
+            "scalar": "build_partition_tree_scalar (pre-columnar reference)",
+            "columnar": "build_partition_tree (single global sort + prefix sums)",
+        },
+        "trees_identical": bool(all_identical),
+        "results": [asdict(r) for r in results],
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SAMPLE_SIZES),
+        help=f"sample sizes in edges (default {list(DEFAULT_SAMPLE_SIZES)})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: sizes {list(QUICK_SAMPLE_SIZES)}, no speedup gate",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats", type=int, default=2, help="timing repeats (best-of)"
+    )
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=10.0,
+        help=(
+            "required columnar speedup on samples of at least "
+            f"{SPEEDUP_GATE_EDGES} edges (ignored with --quick)"
+        ),
+    )
+    parser.add_argument(
+        "--max-seconds",
+        type=float,
+        default=None,
+        help="fail if any columnar build exceeds this many seconds",
+    )
+    args = parser.parse_args(argv)
+
+    sizes = list(QUICK_SAMPLE_SIZES) if args.quick else list(args.sizes)
+    report = run_build_bench(sample_sizes=sizes, seed=args.seed, repeats=args.repeats)
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    print(f"trees_identical: {report['trees_identical']}")
+    header = (
+        f"{'edges':>8} {'vertices':>9} {'scenario':<15} "
+        f"{'scalar s':>10} {'columnar s':>11} {'speedup':>9}"
+    )
+    print(header)
+    print("-" * len(header))
+    for row in report["results"]:
+        print(
+            f"{row['sample_edges']:>8,} {row['sample_vertices']:>9,} "
+            f"{row['scenario']:<15} {row['scalar_seconds']:>10.4f} "
+            f"{row['columnar_seconds']:>11.4f} {row['speedup']:>8.1f}x"
+        )
+
+    failed = not report["trees_identical"]
+    if failed:
+        print("FAIL: scalar and columnar builders produced different trees")
+    if args.max_seconds is not None:
+        for row in report["results"]:
+            if row["columnar_seconds"] > args.max_seconds:
+                print(
+                    f"FAIL: columnar build took {row['columnar_seconds']:.2f}s on "
+                    f"{row['sample_edges']} edges (ceiling {args.max_seconds:.2f}s)"
+                )
+                failed = True
+    if not args.quick:
+        for row in report["results"]:
+            if (
+                row["sample_edges"] >= SPEEDUP_GATE_EDGES
+                and row["speedup"] < args.min_speedup
+            ):
+                print(
+                    f"FAIL: speedup {row['speedup']:.1f}x on "
+                    f"{row['sample_edges']} edges is below {args.min_speedup:.0f}x"
+                )
+                failed = True
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -26,7 +26,7 @@ import argparse
 import json
 import sys
 import time
-from dataclasses import asdict, dataclass
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
@@ -35,7 +35,12 @@ from repro.core.config import GSketchConfig
 from repro.core.gsketch import GSketch
 from repro.datasets.rmat import RMATConfig, generate_rmat_edges
 from repro.datasets.zipf import bounded_zipf_sample
-from repro.distributed import SequentialExecutor, ShardedGSketch, ThreadPoolExecutor
+from repro.distributed import (
+    InstrumentedExecutor,
+    SequentialExecutor,
+    ShardedGSketch,
+    ThreadPoolExecutor,
+)
 from repro.graph.sampling import reservoir_sample
 from repro.graph.stream import GraphStream
 from repro.utils.rng import resolve_rng
@@ -48,7 +53,14 @@ DEFAULT_OUTPUT = "BENCH_throughput.json"
 
 @dataclass(frozen=True)
 class ThroughputResult:
-    """One (dataset, mode) measurement."""
+    """One (dataset, mode) measurement.
+
+    ``breakdown`` (sharded modes only) decomposes the ingest wall time:
+    ``coordinator_seconds`` is the serial hash/route/group work on the
+    coordinator thread, ``apply_wall_seconds`` the time spent dispatching to
+    and waiting on shard workers, and ``shard_busy_seconds`` the per-shard
+    time actually applying counter updates.
+    """
 
     dataset: str
     mode: str
@@ -56,6 +68,7 @@ class ThroughputResult:
     seconds: float
     edges_per_second: float
     speedup_vs_per_edge: Optional[float] = None
+    breakdown: Optional[Dict[str, object]] = field(default=None)
 
 
 def rmat_stream(num_edges: int, scale: int = 14, seed: int = 7) -> GraphStream:
@@ -153,7 +166,7 @@ def run_throughput(
 
         # --- sharded -------------------------------------------------- #
         for num_shards in shard_counts:
-            executor = (
+            executor = InstrumentedExecutor(
                 SequentialExecutor()
                 if num_shards == 1
                 else ThreadPoolExecutor(max_workers=num_shards)
@@ -170,6 +183,17 @@ def run_throughput(
             )
             parity_ok &= sharded.query_edges(query_edges) == reference_estimates
             sharded.close()
+            busy = dict(sorted(executor.shard_busy_seconds.items()))
+            breakdown = {
+                "coordinator_seconds": round(
+                    max(0.0, seconds - executor.apply_wall_seconds), 6
+                ),
+                "apply_wall_seconds": round(executor.apply_wall_seconds, 6),
+                "shard_busy_seconds": {
+                    str(index): round(value, 6) for index, value in busy.items()
+                },
+                "batches": executor.batches,
+            }
             results.append(
                 ThroughputResult(
                     dataset=name,
@@ -178,6 +202,7 @@ def run_throughput(
                     seconds=seconds,
                     edges_per_second=len(stream) / seconds,
                     speedup_vs_per_edge=per_edge_seconds / seconds,
+                    breakdown=breakdown,
                 )
             )
 

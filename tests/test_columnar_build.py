@@ -1,0 +1,368 @@
+"""Golden-equivalence and property tests for the columnar build path.
+
+The columnar :func:`~repro.core.partitioner.build_partition_tree` must be an
+observationally exact replacement for the scalar reference
+(:func:`~repro.core.partitioner.build_partition_tree_scalar`): leaf-for-leaf
+identical trees on real sample distributions, bit-identical post-ingest
+counters, and agreement on the degenerate shapes (ties, zero degrees, zero
+weights) where vectorized and scalar arithmetic most easily diverge.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import GSketchConfig
+from repro.core.errors import best_split_index, split_objective_data_only
+from repro.core.gsketch import GSketch
+from repro.core.partitioner import (
+    build_partition_tree,
+    build_partition_tree_scalar,
+    workload_vertex_weights,
+)
+from repro.core.router import OUTLIER_PARTITION, VertexRouter
+from repro.datasets.dblp import DBLPConfig, generate_dblp_stream
+from repro.datasets.rmat import RMATConfig, generate_rmat_edges
+from repro.graph.sampling import reservoir_sample
+from repro.graph.statistics import VertexStatistics, variance_ratio
+from repro.graph.stream import GraphStream
+from repro.queries.subgraph_query import SubgraphQuery
+
+
+def assert_trees_identical(columnar, scalar):
+    """Leaf-for-leaf structural equality of two partition trees."""
+    assert len(columnar.leaves) == len(scalar.leaves)
+    assert columnar.surplus_width == scalar.surplus_width
+    for leaf_c, leaf_s in zip(columnar.leaves, scalar.leaves):
+        assert leaf_c.index == leaf_s.index
+        assert leaf_c.vertices == leaf_s.vertices
+        assert leaf_c.width == leaf_s.width
+        assert leaf_c.nominal_width == leaf_s.nominal_width
+        assert leaf_c.leaf_reason == leaf_s.leaf_reason
+    # The assignment columns must agree with the leaf vertex tuples.
+    assignments = columnar.leaf_assignments
+    assert assignments is not None
+    mapping = dict(zip(assignments.labels, assignments.partitions.tolist()))
+    for leaf in columnar.leaves:
+        for vertex in leaf.vertices:
+            assert mapping[vertex] == leaf.index
+
+
+def rmat_sample(num_edges=30_000, sample_size=6_000, seed=3) -> GraphStream:
+    sources, targets = generate_rmat_edges(
+        RMATConfig(seed=seed, scale=12, num_edges=num_edges)
+    )
+    stream = GraphStream.from_tuples(
+        (int(s), int(t), float(i), 1.0)
+        for i, (s, t) in enumerate(zip(sources, targets))
+    )
+    return reservoir_sample(stream, sample_size, seed=seed)
+
+
+def dblp_sample(sample_size=5_000, seed=5) -> GraphStream:
+    bundle = generate_dblp_stream(
+        DBLPConfig(
+            num_authors=2_000,
+            num_papers=4_000,
+            num_communities=40,
+            teams_per_community=2,
+            team_size=3,
+            seed=9,
+        )
+    )
+    return reservoir_sample(bundle.stream, sample_size, seed=seed)
+
+
+def _workload_for(stats: VertexStatistics):
+    """Deterministic smoothed workload weights over part of the vertex set."""
+    counts = {v: float(i % 11 + 1) for i, v in enumerate(stats.ids) if i % 2 == 0}
+    return workload_vertex_weights(stats, counts)
+
+
+@pytest.fixture(scope="module", params=["rmat", "zipf", "dblp"])
+def golden_sample(request, zipf_sample):
+    if request.param == "rmat":
+        return rmat_sample()
+    if request.param == "dblp":
+        return dblp_sample()
+    return zipf_sample
+
+
+@pytest.mark.parametrize("allocation", ["rebalanced", "halving"])
+@pytest.mark.parametrize("workload", [False, True])
+@pytest.mark.parametrize("extrapolate", [False, True])
+def test_golden_tree_equivalence(golden_sample, allocation, workload, extrapolate):
+    """Columnar and scalar builders agree leaf-for-leaf on real samples."""
+    stats = VertexStatistics.from_stream(golden_sample)
+    if extrapolate:
+        # Fractional degrees exercise the float paths of the Theorem-1
+        # capacities and the width allocation.
+        stats = stats.extrapolated(0.25)
+    config = GSketchConfig(
+        total_cells=len(golden_sample) * 2,
+        depth=4,
+        seed=7,
+        width_allocation=allocation,
+    )
+    weights = _workload_for(stats) if workload else None
+    columnar = build_partition_tree(stats, config, weights)
+    scalar = build_partition_tree_scalar(stats, config, weights)
+    assert len(columnar.leaves) > 1  # the partitioner actually recursed
+    assert_trees_identical(columnar, scalar)
+
+
+def test_post_ingest_counters_bit_identical(zipf_stream, zipf_sample, small_config):
+    """Sketches built from the two trees absorb a stream bit-identically."""
+    stats = GSketch._sample_statistics(zipf_sample, len(zipf_stream))
+    columnar_tree = build_partition_tree(stats, small_config)
+    scalar_tree = build_partition_tree_scalar(stats, small_config)
+
+    columnar = GSketch(
+        config=small_config,
+        tree=columnar_tree,
+        router=VertexRouter.from_tree(columnar_tree),
+        stats=stats,
+    )
+    scalar = GSketch(
+        config=small_config,
+        tree=scalar_tree,
+        router=VertexRouter.from_tree(scalar_tree),
+        stats=stats,
+    )
+    columnar.process(zipf_stream)
+    scalar.process(zipf_stream)
+
+    assert columnar.elements_processed == scalar.elements_processed
+    assert columnar.outlier_elements == scalar.outlier_elements
+    assert np.array_equal(columnar.outlier_sketch.table, scalar.outlier_sketch.table)
+    assert len(columnar.partitions) == len(scalar.partitions)
+    for sketch_c, sketch_s in zip(columnar.partitions, scalar.partitions):
+        assert np.array_equal(sketch_c.table, sketch_s.table)
+
+
+# --------------------------------------------------------------------- #
+# Property tests: ties, zero degrees, zero weights
+# --------------------------------------------------------------------- #
+def _tied_stats() -> VertexStatistics:
+    """Statistics with tied sort keys, zero-degree and zero-frequency vertices."""
+    freq = {}
+    deg = {}
+    for v in range(40):  # tied average 5.0 via 10/2
+        freq[v] = 10.0
+        deg[v] = 2.0
+    for v in range(40, 80):  # tied average 5.0 via 20/4
+        freq[v] = 20.0
+        deg[v] = 4.0
+    for v in range(80, 100):  # zero sampled degree -> average 0
+        freq[v] = 3.0
+        deg[v] = 0.0
+    for v in range(100, 120):  # zero frequency, positive degree -> average 0
+        freq[v] = 0.0
+        deg[v] = 5.0
+    return VertexStatistics(freq, deg, total_frequency=sum(freq.values()))
+
+
+@pytest.mark.parametrize("allocation", ["rebalanced", "halving"])
+def test_tied_and_zero_degree_equivalence(allocation):
+    stats = _tied_stats()
+    config = GSketchConfig(
+        total_cells=2_000,
+        depth=4,
+        seed=1,
+        min_partition_width=8,
+        max_partitions=16,
+        width_allocation=allocation,
+    )
+    for weights in (None, _workload_for(stats), {v: 0.0 for v in stats.ids}):
+        columnar = build_partition_tree(stats, config, weights)
+        scalar = build_partition_tree_scalar(stats, config, weights)
+        assert_trees_identical(columnar, scalar)
+
+
+def test_prefix_sum_objective_matches_split_decision():
+    """The shared kernel reproduces the SplitDecision on the same sorted order."""
+    stats = _tied_stats()
+    vertices = stats.vertices()
+    decision = split_objective_data_only(vertices, stats)
+    order = list(decision.order)
+    frequency_terms = np.array([stats.frequency(v) for v in order])
+    average = np.array(
+        [stats.average_edge_frequency(v) for v in order], dtype=np.float64
+    )
+    ratio_terms = np.array(
+        [stats.degree(v) for v in order]
+    ) / np.where(average > 0, average, 1e-12)
+    pivot, objective = best_split_index(frequency_terms, ratio_terms)
+    assert pivot == decision.pivot
+    assert objective == decision.objective
+
+
+def test_zero_degree_vertices_sort_to_the_cheap_end():
+    """Zero-average vertices land at the front of the columnar global order."""
+    stats = _tied_stats()
+    config = GSketchConfig(total_cells=2_000, depth=4, seed=1, min_partition_width=8)
+    tree = build_partition_tree(stats, config)
+    labels = tree.leaf_assignments.labels
+    averages = [stats.average_edge_frequency(v) for v in labels]
+    assert averages == sorted(averages)
+
+
+# --------------------------------------------------------------------- #
+# Columnar statistics
+# --------------------------------------------------------------------- #
+def test_from_arrays_census_matches_from_stream(zipf_stream):
+    batch = zipf_stream.to_batch()
+    vectorized = VertexStatistics.from_arrays(
+        batch.sources, batch.targets, batch.frequencies
+    )
+    reference = VertexStatistics.from_stream(zipf_stream)
+    assert set(vectorized.ids) == set(reference.ids)
+    assert vectorized.total_frequency == reference.total_frequency
+    for vertex in reference.ids:
+        assert vectorized.frequency(vertex) == reference.frequency(vertex)
+        assert vectorized.degree(vertex) == reference.degree(vertex)
+
+
+def test_extrapolated_matches_scalar_formula(zipf_sample):
+    stats = VertexStatistics.from_stream(zipf_sample)
+    p = 0.2
+    extrapolated = stats.extrapolated(p)
+    for vertex in stats.ids:
+        observed = stats.degree(vertex)
+        assert extrapolated.frequency(vertex) == stats.frequency(vertex) * (1.0 / p)
+        if observed <= 0:
+            assert extrapolated.degree(vertex) == 0.0
+        else:
+            average = max(1.0, stats.frequency(vertex) / observed)
+            capture = 1.0 - (1.0 - p) ** (average / p)
+            assert extrapolated.degree(vertex) == observed / max(capture, p)
+
+
+def test_empty_statistics_lookups_return_defaults():
+    """Gathers over an empty (but int-interned) column must not crash."""
+    from repro.core.errors import partition_error_data_only
+
+    empty = VertexStatistics({}, {})
+    freq, deg = empty.columns_for([1, 2])
+    assert freq.tolist() == [0.0, 0.0]
+    assert deg.tolist() == [0.0, 0.0]
+    assert empty.frequency_sum([1, 2]) == 0.0
+    assert partition_error_data_only([1, 2], empty, 8) == 0.0 - 0.0
+
+
+def test_ragged_and_tuple_labels_fall_back_to_dict_paths():
+    """Hashable-but-non-array labels (tuples, mixed arity) keep working."""
+    stream = GraphStream.from_pairs(
+        [((1, 2), "a"), ((1, 2, 3), "b"), ((1, 2), "c"), ("x", "a")]
+    )
+    assert variance_ratio(stream) >= 0.0
+    stats = VertexStatistics.from_stream(stream)
+    assert stats.frequency((1, 2)) == 2.0
+    freq, _deg = stats.columns_for([(1, 2), (1, 2, 3), "missing"])
+    assert freq.tolist() == [2.0, 1.0, 0.0]
+    # Tuple labels on int-interned statistics must also route to the dict path.
+    int_stats = VertexStatistics({1: 2.0, 2: 3.0}, {1: 1.0, 2: 1.0}, 5.0)
+    freq, _deg = int_stats.columns_for([(1, 2), (1, 2, 3)])
+    assert freq.tolist() == [0.0, 0.0]
+
+
+def test_derived_statistics_keep_integer_interning(zipf_sample):
+    stats = VertexStatistics.from_stream(zipf_sample)
+    assert stats.int_ids is not None
+    for derived in (
+        stats.scaled(2.0),
+        stats.extrapolated(0.5),
+        stats.restricted_to(stats.vertices()[::2]),
+    ):
+        assert derived.int_ids is not None
+        assert len(derived.int_ids) == len(derived.ids)
+
+
+def test_restricted_and_scaled(zipf_sample):
+    stats = VertexStatistics.from_stream(zipf_sample)
+    subset = stats.vertices()[::5]
+    restricted = stats.restricted_to(subset)
+    assert set(restricted.ids) == set(subset)
+    assert all(restricted.frequency(v) == stats.frequency(v) for v in subset)
+    assert restricted.total_frequency == pytest.approx(
+        sum(stats.frequency(v) for v in subset)
+    )
+    doubled = stats.scaled(2.0)
+    assert doubled.total_frequency == stats.total_frequency * 2.0
+    vertex = subset[0]
+    assert doubled.frequency(vertex) == stats.frequency(vertex) * 2.0
+    assert doubled.degree(vertex) == stats.degree(vertex) * 2.0
+
+
+def test_variance_ratio_matches_naive_grouping(weighted_stream):
+    naive_groups = {}
+    for (source, _target), frequency in weighted_stream.edge_frequencies().items():
+        naive_groups.setdefault(source, []).append(frequency)
+    naive_local = float(
+        np.mean([np.var(np.asarray(values)) for values in naive_groups.values()])
+    )
+    values = np.array(
+        list(weighted_stream.edge_frequencies().values()), dtype=np.float64
+    )
+    expected = float(values.var()) / naive_local
+    assert variance_ratio(weighted_stream) == pytest.approx(expected, rel=1e-12)
+
+
+# --------------------------------------------------------------------- #
+# Array-backed router construction
+# --------------------------------------------------------------------- #
+def test_router_from_tree_matches_dict_construction(zipf_sample, small_config):
+    stats = VertexStatistics.from_stream(zipf_sample)
+    tree = build_partition_tree(stats, small_config)
+    from_columns = VertexRouter.from_tree(tree)
+    from_mapping = VertexRouter(
+        tree.vertex_partition_map(), num_partitions=len(tree.leaves)
+    )
+    assert len(from_columns) == len(from_mapping)
+    probes = stats.vertices() + [10_000_001, -5]
+    for vertex in probes:
+        assert from_columns.partition_of(vertex) == from_mapping.partition_of(vertex)
+    batch = np.array(probes, dtype=np.int64)
+    assert np.array_equal(
+        from_columns.route_batch(batch), from_mapping.route_batch(batch)
+    )
+    assert from_columns.partition_of(10_000_001) == OUTLIER_PARTITION
+
+
+def test_router_from_arrays_rejects_bad_partitions():
+    with pytest.raises(ValueError):
+        VertexRouter.from_arrays(
+            labels=[1, 2],
+            int_labels=np.array([1, 2], dtype=np.int64),
+            partitions=np.array([0, 5], dtype=np.int64),
+            num_partitions=2,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Vectorized query serving
+# --------------------------------------------------------------------- #
+def test_query_subgraph_uses_vectorized_estimates(zipf_stream, zipf_sample, small_config):
+    gsketch = GSketch.build(zipf_sample, small_config)
+    gsketch.process(zipf_stream.prefix(2_000))
+    edges = sorted(zipf_stream.distinct_edges())[:12] + [(10_000_001, 5)]
+    query = SubgraphQuery.from_edges(edges)
+    expected = sum(gsketch.query_edge(edge) for edge in edges)
+    assert gsketch.query_subgraph(query) == pytest.approx(expected, rel=1e-12)
+
+
+def test_confidence_batch_matches_scalar_confidence(
+    zipf_stream, zipf_sample, small_config
+):
+    gsketch = GSketch.build(zipf_sample, small_config)
+    gsketch.process(zipf_stream.prefix(2_000))
+    edges = sorted(zipf_stream.distinct_edges())[:40] + [(10_000_001, 5)]
+    intervals = gsketch.confidence_batch(edges)
+    assert len(intervals) == len(edges)
+    for edge, interval in zip(edges, intervals):
+        reference = gsketch.confidence(edge)
+        assert interval.estimate == reference.estimate
+        assert interval.additive_bound == reference.additive_bound
+        assert interval.failure_probability == reference.failure_probability
+    assert gsketch.confidence_batch([]) == []

@@ -1,9 +1,11 @@
-"""Smoke test for the throughput benchmark runner."""
+"""Smoke tests for the throughput and partition-build benchmark runners."""
 
 from __future__ import annotations
 
 import json
 
+from repro.experiments.build_bench import main as build_bench_main
+from repro.experiments.build_bench import run_build_bench
 from repro.experiments.throughput import main, run_throughput
 
 
@@ -27,6 +29,38 @@ def test_run_throughput_reports_all_modes():
         assert row["edges_per_second"] > 0
         if row["mode"] != "per-edge":
             assert row["speedup_vs_per_edge"] > 0
+        if row["mode"].startswith("sharded-"):
+            # Per-shard timing breakdown (the executor-choice diagnostic).
+            breakdown = row["breakdown"]
+            num_shards = int(row["mode"].split("-")[1])
+            assert breakdown["batches"] > 0
+            assert breakdown["apply_wall_seconds"] >= 0
+            assert breakdown["coordinator_seconds"] >= 0
+            assert len(breakdown["shard_busy_seconds"]) == num_shards
+        else:
+            assert row["breakdown"] is None
+
+
+def test_run_build_bench_verifies_equivalence():
+    report = run_build_bench(sample_sizes=(4_000,), repeats=1)
+    assert report["trees_identical"] is True
+    scenarios = {row["scenario"] for row in report["results"]}
+    assert scenarios == {"data-only", "workload-aware"}
+    for row in report["results"]:
+        assert row["leaves"] >= 1
+        assert row["columnar_seconds"] > 0
+        assert row["scalar_seconds"] > 0
+
+
+def test_build_bench_main_writes_report(tmp_path, capsys):
+    output = tmp_path / "build.json"
+    exit_code = build_bench_main(
+        ["--quick", "--output", str(output), "--repeats", "1", "--max-seconds", "120"]
+    )
+    assert exit_code == 0
+    report = json.loads(output.read_text())
+    assert report["trees_identical"] is True
+    assert "speedup" in capsys.readouterr().out
 
 
 def test_main_writes_report(tmp_path, monkeypatch, capsys):
