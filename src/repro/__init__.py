@@ -13,20 +13,26 @@ The library provides:
 * the experiment harness regenerating every paper figure in
   :mod:`repro.experiments`.
 
-Quickstart::
+Quickstart (the unified API in :mod:`repro.api` is the canonical surface)::
 
-    from repro import GSketch, GSketchConfig, GlobalSketch
+    from repro import EdgeQuery, GSketchConfig, SketchEngine
     from repro.datasets import load_dataset
-    from repro.graph import reservoir_sample
 
     stream = load_dataset("dblp-tiny").stream
-    sample = reservoir_sample(stream, 2_000, seed=1)
-    config = GSketchConfig.from_memory_bytes(64_000)
-    gsketch = GSketch.build(sample, config)
-    gsketch.process(stream)
-    estimate = gsketch.query_edge(next(iter(stream.distinct_edges())))
+    engine = (SketchEngine.builder()
+              .config(GSketchConfig.from_memory_bytes(64_000))
+              .dataset(stream)
+              .build())
+    engine.ingest(stream)
+    estimate = engine.query(EdgeQuery(*next(iter(stream.distinct_edges()))))
+    estimate.value, estimate.interval.lower, estimate.provenance.partition
 """
 
+from repro.api.engine import EngineBuilder, EngineError, SketchEngine
+from repro.api.protocol import Estimator
+from repro.api.queries import WindowQuery
+from repro.api.results import Estimate, Provenance
+from repro.api.snapshot import load_snapshot, save_snapshot
 from repro.core.config import GSketchConfig
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
@@ -45,14 +51,23 @@ __all__ = [
     "CountMinSketch",
     "EdgeBatch",
     "EdgeQuery",
+    "EngineBuilder",
+    "EngineError",
+    "Estimate",
+    "Estimator",
     "GSketch",
     "GSketchConfig",
     "GlobalSketch",
     "GraphStream",
+    "Provenance",
     "ShardPlan",
     "ShardedGSketch",
+    "SketchEngine",
     "StreamEdge",
     "SubgraphQuery",
+    "WindowQuery",
     "WindowedGSketch",
     "__version__",
+    "load_snapshot",
+    "save_snapshot",
 ]

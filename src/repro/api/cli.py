@@ -1,0 +1,297 @@
+"""``python -m repro`` — build, ingest, query and bench through the facade.
+
+Every command drives the same :class:`~repro.api.engine.SketchEngine` API the
+library exposes, so the CLI doubles as a smoke test of the public surface::
+
+    python -m repro build  --dataset rmat --edges 20000 --cells 60000 --out sketch.snap
+    python -m repro ingest --snapshot sketch.snap --dataset rmat --edges 20000
+    python -m repro query  --snapshot sketch.snap --sample 5 --dataset rmat --edges 20000
+    python -m repro query  --snapshot sketch.snap --edge 3 17
+    python -m repro bench  --dataset rmat --edges 20000 --cells 60000
+
+Datasets are either registry names (``dblp-tiny``, ``gtgraph-small``, ... —
+see :func:`repro.datasets.registry.available_datasets`) or the synthetic
+``rmat`` / ``zipf`` generators parameterized by ``--edges`` / ``--scale``.
+All commands print a single JSON document to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Hashable, List, Optional, Sequence
+
+from repro.api.engine import DEFAULT_SAMPLE_SIZE, EngineError, SketchEngine
+from repro.api.queries import EdgeQuery, WindowQuery
+from repro.core.config import GSketchConfig
+from repro.datasets.registry import available_datasets, load_dataset
+from repro.graph.sampling import zipf_workload_stream
+from repro.graph.stream import GraphStream
+from repro.queries.workload import uniform_edge_queries
+
+DEFAULT_CELLS = 60_000
+DEFAULT_DEPTH = 5
+DEFAULT_SEED = 7
+
+
+def _coerce_label(label: str) -> Hashable:
+    """CLI edge labels: integers when they parse, strings otherwise."""
+    try:
+        return int(label)
+    except ValueError:
+        return label
+
+
+def _add_dataset_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--dataset",
+        default="rmat",
+        help=(
+            "registry dataset name, or synthetic 'rmat' / 'zipf' "
+            f"(registry: {', '.join(available_datasets())})"
+        ),
+    )
+    parser.add_argument(
+        "--edges", type=int, default=20_000, help="stream length for synthetic datasets"
+    )
+    parser.add_argument(
+        "--scale", type=int, default=12, help="R-MAT vertex scale (2^scale vertices)"
+    )
+    parser.add_argument("--seed", type=int, default=DEFAULT_SEED)
+
+
+def resolve_stream(args: argparse.Namespace) -> GraphStream:
+    """The dataset stream named by the common CLI arguments."""
+    name = args.dataset
+    if name == "rmat":
+        from repro.datasets.rmat import rmat_stream
+
+        return rmat_stream(
+            args.edges, scale=args.scale, seed=args.seed, name=f"rmat-{args.edges}"
+        )
+    if name == "zipf":
+        from repro.datasets.zipf import zipf_stream
+
+        population = max(2, 2 ** max(1, args.scale - 3))
+        return zipf_stream(
+            args.edges, population=population, seed=args.seed, name=f"zipf-{args.edges}"
+        )
+    return load_dataset(name, seed=args.seed).stream
+
+
+def _emit(document: dict) -> None:
+    json.dump(document, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+
+
+# ---------------------------------------------------------------------- #
+# Commands
+# ---------------------------------------------------------------------- #
+def cmd_build(args: argparse.Namespace) -> int:
+    if args.baseline and (args.sharded is not None or args.windowed is not None):
+        raise EngineError(
+            "--baseline builds the unpartitioned Global Sketch and cannot be "
+            "combined with --sharded or --windowed"
+        )
+    stream = resolve_stream(args)
+    config = GSketchConfig(total_cells=args.cells, depth=args.depth, seed=args.seed)
+    builder = SketchEngine.builder().config(config)
+    if not args.baseline:
+        builder = builder.dataset(stream).sample_size(args.sample_size)
+    if args.workload_alpha is not None:
+        workload = zipf_workload_stream(
+            stream, args.sample_size, args.workload_alpha, seed=args.seed + 1
+        )
+        builder = builder.workload(workload)
+    if args.sharded is not None:
+        builder = builder.sharded(args.sharded)
+    if args.windowed is not None:
+        builder = builder.windowed(args.windowed, sample_size=args.sample_size)
+
+    engine = builder.build()
+    ingested = engine.ingest(stream, batch_size=args.batch_size) if args.ingest else 0
+    engine.save(args.out)
+    engine.close()
+    summary = engine.describe()
+    summary.update({"snapshot": args.out, "dataset": stream.name, "ingested": ingested})
+    _emit(summary)
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    engine = SketchEngine.load(args.snapshot)
+    stream = resolve_stream(args)
+    ingested = engine.ingest(stream, batch_size=args.batch_size)
+    out = args.out or args.snapshot
+    engine.save(out)
+    engine.close()
+    summary = engine.describe()
+    summary.update({"snapshot": out, "dataset": stream.name, "ingested": ingested})
+    _emit(summary)
+    return 0
+
+
+def cmd_query(args: argparse.Namespace) -> int:
+    engine = SketchEngine.load(args.snapshot)
+    keys: List[tuple] = [
+        (_coerce_label(source), _coerce_label(target)) for source, target in args.edge or []
+    ]
+    if args.sample:
+        stream = resolve_stream(args)
+        keys.extend(
+            q.key for q in uniform_edge_queries(stream, args.sample, seed=args.seed + 2)
+        )
+    if not keys:
+        raise EngineError("nothing to query: pass --edge S T (repeatable) and/or --sample K")
+
+    if args.window is not None:
+        start, end = args.window
+        estimates = [
+            engine.query(WindowQuery(source, target, start, end)) for source, target in keys
+        ]
+    else:
+        estimates = engine.query_many([EdgeQuery(source, target) for source, target in keys])
+    engine.close()
+    _emit(
+        {
+            "backend": engine.backend,
+            "snapshot": args.snapshot,
+            "estimates": [
+                {"source": str(key[0]), "target": str(key[1]), **estimate.to_dict()}
+                for key, estimate in zip(keys, estimates)
+            ],
+        }
+    )
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    stream = resolve_stream(args)
+    config = GSketchConfig(total_cells=args.cells, depth=args.depth, seed=args.seed)
+    builder = SketchEngine.builder().config(config).dataset(stream)
+    if args.sharded is not None:
+        builder = builder.sharded(args.sharded)
+    engine = builder.build()
+
+    start = time.perf_counter()
+    ingested = engine.ingest(stream, batch_size=args.batch_size)
+    ingest_seconds = time.perf_counter() - start
+
+    queries = [q.key for q in uniform_edge_queries(stream, args.queries, seed=args.seed + 2)]
+    start = time.perf_counter()
+    engine.estimate_edges(queries)
+    query_seconds = time.perf_counter() - start
+    engine.close()
+
+    _emit(
+        {
+            "benchmark": "facade",
+            "backend": engine.backend,
+            "dataset": stream.name,
+            "edges": ingested,
+            "ingest_seconds": round(ingest_seconds, 6),
+            "edges_per_second": round(ingested / ingest_seconds, 1),
+            "queries": len(queries),
+            "query_seconds": round(query_seconds, 6),
+            "queries_per_second": round(len(queries) / max(query_seconds, 1e-12), 1),
+        }
+    )
+    return 0
+
+
+# ---------------------------------------------------------------------- #
+# Parser
+# ---------------------------------------------------------------------- #
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Build, ingest into, query and bench gSketch estimators.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="partition an estimator and snapshot it")
+    _add_dataset_arguments(build)
+    build.add_argument("--cells", type=int, default=DEFAULT_CELLS)
+    build.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    build.add_argument("--sample-size", type=int, default=DEFAULT_SAMPLE_SIZE)
+    build.add_argument(
+        "--workload-alpha",
+        type=float,
+        default=None,
+        help="partition with a Zipf workload sample of this skewness",
+    )
+    build.add_argument("--sharded", type=int, default=None, metavar="N")
+    build.add_argument("--windowed", type=float, default=None, metavar="LENGTH")
+    build.add_argument(
+        "--baseline", action="store_true", help="Global Sketch baseline (no partitioning)"
+    )
+    build.add_argument(
+        "--ingest", action="store_true", help="also ingest the full dataset before saving"
+    )
+    build.add_argument("--batch-size", type=int, default=8192)
+    build.add_argument("--out", required=True, help="snapshot path to write")
+    build.set_defaults(func=cmd_build)
+
+    ingest = commands.add_parser("ingest", help="ingest a dataset into a snapshot")
+    _add_dataset_arguments(ingest)
+    ingest.add_argument("--snapshot", required=True)
+    ingest.add_argument("--out", default=None, help="output path (default: overwrite)")
+    ingest.add_argument("--batch-size", type=int, default=8192)
+    ingest.set_defaults(func=cmd_ingest)
+
+    query = commands.add_parser("query", help="answer edge queries from a snapshot")
+    _add_dataset_arguments(query)
+    query.add_argument(
+        "--edge",
+        nargs=2,
+        action="append",
+        metavar=("SOURCE", "TARGET"),
+        help="edge to estimate (repeatable)",
+    )
+    query.add_argument(
+        "--sample",
+        type=int,
+        default=0,
+        help="additionally sample this many query edges from the dataset",
+    )
+    query.add_argument(
+        "--window",
+        nargs=2,
+        type=float,
+        default=None,
+        metavar=("START", "END"),
+        help="restrict to a time window (windowed backend only)",
+    )
+    query.add_argument("--snapshot", required=True)
+    query.set_defaults(func=cmd_query)
+
+    bench = commands.add_parser("bench", help="facade ingest/query throughput")
+    _add_dataset_arguments(bench)
+    bench.add_argument("--cells", type=int, default=DEFAULT_CELLS)
+    bench.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    bench.add_argument("--sharded", type=int, default=None, metavar="N")
+    bench.add_argument("--batch-size", type=int, default=8192)
+    bench.add_argument("--queries", type=int, default=500)
+    bench.set_defaults(func=cmd_bench)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.func(args)
+    # EngineError and SnapshotError are ValueErrors; plain ValueError also
+    # covers backend input validation (bad configs, out-of-order elements).
+    # OSError covers unreadable/unwritable snapshot paths (missing file,
+    # directory, permission) so every user error exits 2 with JSON.
+    except (ValueError, KeyError, OSError) as error:
+        json.dump({"error": str(error)}, sys.stderr)
+        sys.stderr.write("\n")
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via python -m repro
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Typed query objects of the public API.
+
+:class:`~repro.queries.edge_query.EdgeQuery` and
+:class:`~repro.queries.subgraph_query.SubgraphQuery` are re-exported from
+:mod:`repro.queries` (the facade absorbs them rather than duplicating them);
+:class:`WindowQuery` is new here — the typed form of the windowed backend's
+interval-restricted edge query.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Union
+
+from repro.graph.edge import EdgeKey
+from repro.queries.edge_query import EdgeQuery
+from repro.queries.subgraph_query import SubgraphQuery
+
+__all__ = ["EdgeQuery", "Query", "SubgraphQuery", "WindowQuery"]
+
+
+@dataclass(frozen=True)
+class WindowQuery:
+    """A query for an edge's aggregate frequency over ``[start, end)``.
+
+    Only the windowed backend can answer these; other backends raise
+    :class:`~repro.api.engine.EngineError` when handed one.
+
+    Attributes:
+        source: source vertex label.
+        target: target vertex label.
+        start: window start (inclusive), in stream timestamp units.
+        end: window end (exclusive).
+    """
+
+    source: Hashable
+    target: Hashable
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if not self.end > self.start:
+            raise ValueError(
+                f"query window must have positive length, got [{self.start}, {self.end})"
+            )
+
+    @property
+    def key(self) -> EdgeKey:
+        """The ``(source, target)`` edge key this query targets."""
+        return (self.source, self.target)
+
+    @classmethod
+    def from_edge_query(cls, query: EdgeQuery) -> "WindowQuery":
+        """Lift an :class:`EdgeQuery` carrying a ``window`` into a ``WindowQuery``."""
+        if query.window is None:
+            raise ValueError("EdgeQuery has no window attached")
+        start, end = query.window
+        return cls(source=query.source, target=query.target, start=start, end=end)
+
+
+#: Anything the facade's ``query`` entry point accepts.
+Query = Union[EdgeQuery, SubgraphQuery, WindowQuery]

@@ -1,0 +1,127 @@
+"""Versioned estimator snapshots.
+
+Every backend implements the ``state_dict()`` / ``from_state()`` half of the
+:class:`~repro.api.protocol.Estimator` contract; this module wraps those
+states in a self-describing envelope so a snapshot file can be handed to
+``load_snapshot`` without knowing which backend produced it:
+
+``{"format": "repro.sketch-snapshot", "version": 1, "backend": <name>,
+"state": <backend state_dict>}``
+
+The payload is pickled (counter tables are numpy arrays and the partitioning
+tree/router carry arbitrary hashable vertex labels), so snapshots are a
+trusted-input format — the same trust model as
+:meth:`~repro.distributed.shard.SketchShard.serialize`.  The envelope is
+versioned so a future layout change can keep loading old files.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Dict, Type, Union
+
+from repro.api.protocol import (
+    BACKEND_GLOBAL,
+    BACKEND_GSKETCH,
+    BACKEND_SHARDED,
+    BACKEND_WINDOWED,
+    Estimator,
+)
+from repro.core.global_sketch import GlobalSketch
+from repro.core.gsketch import GSketch
+from repro.core.windowed import WindowedGSketch
+from repro.distributed.coordinator import ShardedGSketch
+
+SNAPSHOT_FORMAT = "repro.sketch-snapshot"
+SNAPSHOT_VERSION = 1
+
+#: backend name → estimator class, the single source of truth for dispatch.
+BACKEND_CLASSES: Dict[str, type] = {
+    BACKEND_GSKETCH: GSketch,
+    BACKEND_GLOBAL: GlobalSketch,
+    BACKEND_SHARDED: ShardedGSketch,
+    BACKEND_WINDOWED: WindowedGSketch,
+}
+
+_CLASS_BACKENDS: Dict[type, str] = {cls: name for name, cls in BACKEND_CLASSES.items()}
+
+
+class SnapshotError(ValueError):
+    """A snapshot file is malformed, unversioned or from an unknown backend."""
+
+
+def backend_name(estimator: Estimator) -> str:
+    """Canonical backend name of an estimator instance.
+
+    Resolves subclasses structurally (``isinstance``) after the exact-type
+    fast path, so a specialized ``GSketch`` subclass still snapshots as the
+    ``gsketch`` backend.
+    """
+    name = _CLASS_BACKENDS.get(type(estimator))
+    if name is not None:
+        return name
+    for backend, cls in BACKEND_CLASSES.items():
+        if isinstance(estimator, cls):
+            return backend
+    raise SnapshotError(
+        f"unknown estimator type {type(estimator).__name__}; snapshot backends: "
+        f"{sorted(BACKEND_CLASSES)}"
+    )
+
+
+def save_snapshot(estimator: Estimator, path: Union[str, Path]) -> Path:
+    """Write a versioned snapshot of ``estimator`` to ``path``.
+
+    Returns the path written.  The snapshot round-trips through
+    :func:`load_snapshot` into an estimator answering every query
+    bit-identically.
+    """
+    payload = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "backend": backend_name(estimator),
+        "state": estimator.state_dict(),
+    }
+    path = Path(path)
+    # Write-then-rename so an interrupted save never truncates an existing
+    # snapshot (the CLI's ``ingest`` overwrites its input file by default).
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Estimator:
+    """Revive the estimator stored at ``path``.
+
+    Raises:
+        SnapshotError: if the file is not a repro snapshot, has an
+            unsupported version, or names an unknown backend.
+    """
+    try:
+        with open(path, "rb") as handle:
+            payload = pickle.load(handle)
+    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, IndexError) as error:
+        raise SnapshotError(f"{path} is not a readable {SNAPSHOT_FORMAT} file: {error}") from error
+    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+        raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file")
+    version = payload.get("version")
+    if version != SNAPSHOT_VERSION:
+        raise SnapshotError(
+            f"{path} has snapshot version {version!r}; this build reads version "
+            f"{SNAPSHOT_VERSION}"
+        )
+    backend = payload.get("backend")
+    cls: Type = BACKEND_CLASSES.get(backend)  # type: ignore[assignment]
+    if cls is None:
+        raise SnapshotError(
+            f"{path} names unknown backend {backend!r}; known: {sorted(BACKEND_CLASSES)}"
+        )
+    return cls.from_state(payload["state"])

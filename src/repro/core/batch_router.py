@@ -26,7 +26,7 @@ from typing import Sequence, Tuple
 import numpy as np
 
 from repro.core.router import OUTLIER_PARTITION, VertexRouter
-from repro.graph.batch import EdgeBatch, _column
+from repro.graph.batch import EdgeBatch
 
 
 @dataclass(frozen=True)
@@ -115,9 +115,4 @@ class BatchRouter:
 
     def route_edges(self, edges: Sequence) -> RoutedBatch:
         """Route bare ``(source, target)`` pairs (query-time convenience)."""
-        batch = EdgeBatch.from_arrays(
-            sources=_column([e[0] for e in edges]),
-            targets=_column([e[1] for e in edges]),
-            frequencies=np.zeros(len(edges), dtype=np.float64),
-        )
-        return self.route(batch)
+        return self.route(EdgeBatch.from_edge_keys(edges))

@@ -11,15 +11,14 @@ from __future__ import annotations
 
 from typing import Hashable, Iterable, List, Sequence
 
-import numpy as np
-
 from repro.core.config import GSketchConfig
 from repro.core.estimator import ConfidenceInterval, countmin_confidence
+from repro.core.gsketch import DEFAULT_BATCH_SIZE, iter_edge_batches
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.stream import GraphStream
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
-from repro.sketches.hashing import key_to_uint64
 
 
 class GlobalSketch:
@@ -51,21 +50,36 @@ class GlobalSketch:
         """Record one :class:`~repro.graph.edge.StreamEdge`."""
         self.update(edge.source, edge.target, edge.frequency)
 
-    def process(self, stream: GraphStream | Iterable[StreamEdge]) -> int:
+    def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
+        """Ingest one columnar block of stream elements.
+
+        Keys are canonicalized vectorized (:meth:`EdgeBatch.hashed_keys`) and
+        land in the sketch via one
+        :meth:`~repro.sketches.countmin.CountMinSketch.update_batch` call;
+        counters come out bit-identical to per-edge :meth:`update` calls.
+        Returns the number of elements ingested.
+        """
+        if not isinstance(batch, EdgeBatch):
+            batch = EdgeBatch.from_edges(list(batch))
+        if len(batch) == 0:
+            return 0
+        self._sketch.update_batch(batch.hashed_keys(), batch.frequencies)
+        return len(batch)
+
+    def process(
+        self,
+        stream: GraphStream | Iterable[StreamEdge],
+        batch_size: int = DEFAULT_BATCH_SIZE,
+    ) -> int:
         """Ingest an entire stream; returns the number of elements processed.
 
         Uses the sketch's vectorized batch path, which is how a C++
         implementation would amortize hashing cost; the semantics are
         identical to calling :meth:`update` per element.
         """
-        keys: List[int] = []
-        counts: List[float] = []
-        for element in stream:
-            keys.append(key_to_uint64((element.source, element.target)))
-            counts.append(element.frequency)
-        if keys:
-            self._sketch.update_batch(np.array(keys, dtype=np.uint64), counts)
-        return len(keys)
+        return sum(
+            self.ingest_batch(batch) for batch in iter_edge_batches(stream, batch_size)
+        )
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -75,16 +89,57 @@ class GlobalSketch:
         return self._sketch.estimate(tuple(edge))
 
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
-        """Estimate many edges at once."""
-        return [self.query_edge(edge) for edge in edges]
+        """Estimate many edges at once (one vectorized ``estimate_batch``).
+
+        Element-wise identical to calling :meth:`query_edge` per edge: the
+        keys go through the same canonicalization pipeline, just as array
+        kernels instead of per-edge Python hashing.
+        """
+        if len(edges) == 0:
+            return []
+        keys = EdgeBatch.from_edge_keys(edges).hashed_keys()
+        return self._sketch.estimate_batch(keys).tolist()
 
     def query_subgraph(self, query: SubgraphQuery) -> float:
         """Estimate an aggregate subgraph query by per-edge decomposition."""
-        return query.combine([self.query_edge(edge) for edge in query.edges])
+        return query.combine(self.query_edges(query.edges))
 
     def confidence(self, edge: EdgeKey) -> ConfidenceInterval:
         """Equation-1 confidence interval for an edge estimate."""
         return countmin_confidence(self._sketch, self.query_edge(edge))
+
+    def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
+        """Equation-1 confidence intervals for many edges at once.
+
+        The additive bound and failure probability are global constants for
+        this baseline (one sketch serves every query), so only the estimates
+        are vectorized.  Element-wise identical to :meth:`confidence`.
+        """
+        if len(edges) == 0:
+            return []
+        template = countmin_confidence(self._sketch, 0.0)
+        return [
+            ConfidenceInterval(
+                estimate=float(estimate),
+                additive_bound=template.additive_bound,
+                failure_probability=template.failure_probability,
+            )
+            for estimate in self.query_edges(edges)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Complete estimator state (configuration + sketch counters)."""
+        return {"config": self.config, "sketch": self._sketch.state_dict()}
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GlobalSketch":
+        """Revive an estimator from a :meth:`state_dict` snapshot."""
+        sketch = cls(state["config"])
+        sketch._sketch.load_state(state["sketch"])
+        return sketch
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -93,6 +148,11 @@ class GlobalSketch:
     def sketch(self) -> CountMinSketch:
         """The underlying Count-Min sketch."""
         return self._sketch
+
+    @property
+    def elements_processed(self) -> int:
+        """Number of stream elements ingested so far."""
+        return self._sketch.update_count
 
     @property
     def total_frequency(self) -> float:

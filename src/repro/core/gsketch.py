@@ -81,6 +81,72 @@ def chunked_batches(
         yield EdgeBatch.from_edges(chunk)
 
 
+def iter_edge_batches(
+    stream: GraphStream | Iterable[StreamEdge],
+    batch_size: int = DEFAULT_BATCH_SIZE,
+) -> Iterable[EdgeBatch]:
+    """Columnar blocks for a stream or arbitrary edge iterable.
+
+    Materialized :class:`~repro.graph.stream.GraphStream` inputs reuse the
+    stream's cached columnar form; arbitrary iterables (including unbounded
+    generators) are chunked lazily without materializing.  Every batched
+    ingest path dispatches through here.
+    """
+    if isinstance(stream, GraphStream):
+        return stream.iter_batches(batch_size)
+    return chunked_batches(stream, batch_size)
+
+
+def routed_confidence_batch(
+    batch_router: BatchRouter,
+    edges: Sequence[EdgeKey],
+    sketch_for,
+) -> "tuple[List[ConfidenceInterval], List[int]]":
+    """Equation-1 confidence intervals for a block of edges, one routing pass.
+
+    The single source of truth for partitioned confidence queries, shared by
+    :meth:`GSketch.confidence_batch` and
+    :meth:`~repro.distributed.coordinator.ShardedGSketch.confidence_batch` so
+    the two cannot diverge.  Edges are routed once and estimated per
+    partition via ``estimate_batch``; the additive bound and failure
+    probability are per-partition constants, so each group contributes two
+    scalars.  Returns the intervals plus the partition id that answered each
+    edge (:data:`~repro.core.router.OUTLIER_PARTITION` for outliers), both
+    positionally aligned with ``edges``.
+
+    Args:
+        batch_router: the engine's vectorized router.
+        edges: the ``(source, target)`` keys to estimate.
+        sketch_for: partition index → physical sketch resolver.
+    """
+    if len(edges) == 0:
+        return [], []
+    routed = batch_router.route_edges(edges)
+    estimates = np.empty(len(edges), dtype=np.float64)
+    bounds = np.empty(len(edges), dtype=np.float64)
+    failures = np.empty(len(edges), dtype=np.float64)
+    partitions = np.empty(len(edges), dtype=np.int64)
+    for group in routed.groups:
+        sketch = sketch_for(group.partition)
+        estimates[group.positions] = sketch.estimate_batch(group.keys)
+        # The bound and failure probability are per-partition constants;
+        # derive them once per group from the scalar single source of truth
+        # so the two confidence paths cannot diverge.
+        template = countmin_confidence(sketch, 0.0)
+        bounds[group.positions] = template.additive_bound
+        failures[group.positions] = template.failure_probability
+        partitions[group.positions] = group.partition
+    intervals = [
+        ConfidenceInterval(
+            estimate=float(estimate),
+            additive_bound=float(bound),
+            failure_probability=float(failure),
+        )
+        for estimate, bound, failure in zip(estimates, bounds, failures)
+    ]
+    return intervals, partitions.tolist()
+
+
 @dataclass(frozen=True)
 class PartitionSummary:
     """Size and load summary of one partition (used by reports and Table 1)."""
@@ -249,12 +315,8 @@ class GSketch:
         increments all run as array kernels per block of ``batch_size``
         elements.  Returns the number of elements processed.
         """
-        if isinstance(stream, GraphStream):
-            batches: Iterable[EdgeBatch] = stream.iter_batches(batch_size)
-        else:
-            batches = chunked_batches(stream, batch_size)
         processed = 0
-        for batch in batches:
+        for batch in iter_edge_batches(stream, batch_size):
             processed += self.ingest_batch(batch)
         return processed
 
@@ -301,38 +363,69 @@ class GSketch:
     def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
         """Equation-1 confidence intervals for many edges at once.
 
-        Edges are routed once and estimated per partition via
-        ``estimate_batch``; the additive bound and failure probability are
-        per-partition constants, so each group contributes two scalars.
-        Element-wise identical to calling :meth:`confidence` per edge.
+        Element-wise identical to calling :meth:`confidence` per edge; see
+        :func:`routed_confidence_batch`.
         """
-        if len(edges) == 0:
-            return []
-        routed = self._batch_router.route_edges(edges)
-        estimates = np.empty(len(edges), dtype=np.float64)
-        bounds = np.empty(len(edges), dtype=np.float64)
-        failures = np.empty(len(edges), dtype=np.float64)
-        for group in routed.groups:
-            sketch = self._sketch_for(group.partition)
-            estimates[group.positions] = sketch.estimate_batch(group.keys)
-            # The bound and failure probability are per-partition constants;
-            # derive them once per group from the scalar single source of
-            # truth so the two confidence paths cannot diverge.
-            template = countmin_confidence(sketch, 0.0)
-            bounds[group.positions] = template.additive_bound
-            failures[group.positions] = template.failure_probability
-        return [
-            ConfidenceInterval(
-                estimate=float(estimate),
-                additive_bound=float(bound),
-                failure_probability=float(failure),
-            )
-            for estimate, bound, failure in zip(estimates, bounds, failures)
-        ]
+        return self.confidence_batch_with_partitions(edges)[0]
+
+    def confidence_batch_with_partitions(
+        self, edges: Sequence[EdgeKey]
+    ) -> "tuple[List[ConfidenceInterval], List[int]]":
+        """Intervals plus the partition id that answered each edge.
+
+        One routing pass serves both; the facade uses the partition column
+        for provenance without re-routing the keys.
+        """
+        return routed_confidence_batch(self._batch_router, edges, self._sketch_for)
 
     def is_outlier_query(self, edge: EdgeKey) -> bool:
         """Whether the edge query would be answered by the outlier sketch."""
         return self.router.is_outlier(edge[0])
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Complete estimator state: partitioning, counters and provenance.
+
+        The snapshot is self-contained — :meth:`from_state` revives a sketch
+        that routes, estimates and merges bit-identically — and includes the
+        outlier sketch plus the ingest counters.
+        """
+        return {
+            "config": self.config,
+            "tree": self.tree,
+            "router": self.router,
+            "stats": self.stats,
+            "workload_weights": self.workload_weights,
+            "partitions": [sketch.state_dict() for sketch in self._partitions],
+            "outlier": self._outlier.state_dict(),
+            "elements_processed": self._elements_processed,
+            "outlier_elements": self._outlier_elements,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "GSketch":
+        """Revive a sketch from a :meth:`state_dict` snapshot."""
+        sketch = cls(
+            config=state["config"],
+            tree=state["tree"],
+            router=state["router"],
+            stats=state["stats"],
+            workload_weights=state.get("workload_weights"),
+        )
+        partition_states = state["partitions"]
+        if len(partition_states) != len(sketch._partitions):
+            raise ValueError(
+                f"snapshot has {len(partition_states)} partitions, tree expects "
+                f"{len(sketch._partitions)}"
+            )
+        for partition, partition_state in zip(sketch._partitions, partition_states):
+            partition.load_state(partition_state)
+        sketch._outlier.load_state(state["outlier"])
+        sketch._elements_processed = int(state["elements_processed"])
+        sketch._outlier_elements = int(state["outlier_elements"])
+        return sketch
 
     # ------------------------------------------------------------------ #
     # Introspection

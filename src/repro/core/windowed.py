@@ -22,15 +22,18 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Hashable, List, Optional, Tuple
+from typing import Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.config import GSketchConfig
+from repro.core.estimator import ConfidenceInterval
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
+from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.stream import GraphStream
+from repro.queries.subgraph_query import SubgraphQuery
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -75,6 +78,7 @@ class WindowedGSketch:
         self._reservoir_seen = 0
         self._previous_sample: Optional[GraphStream] = None
         self._previous_window_size = 0
+        self._elements_processed = 0
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -98,6 +102,27 @@ class WindowedGSketch:
         state = self._windows[self._current_window]
         state.estimator.update(edge.source, edge.target, edge.frequency)
         self._reservoir_insert(edge)
+        self._elements_processed += 1
+
+    def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
+        """Ingest one block of (timestamp-ordered) stream elements.
+
+        Window rolling and reservoir sampling are inherently sequential in
+        timestamp order, so the block is walked per element; the method exists
+        so windowed estimators satisfy the same
+        :class:`~repro.api.protocol.Estimator` surface as the other backends.
+        Returns the number of elements ingested.
+        """
+        edges: Iterable[StreamEdge]
+        if isinstance(batch, EdgeBatch):
+            edges = batch.iter_edges()
+        else:
+            edges = batch
+        count = 0
+        for edge in edges:
+            self.observe(edge if isinstance(edge, StreamEdge) else StreamEdge(*edge))
+            count += 1
+        return count
 
     def process(self, stream: GraphStream) -> int:
         """Ingest an entire (timestamp-ordered) stream."""
@@ -170,9 +195,124 @@ class WindowedGSketch:
         """Estimate an edge's frequency over all windows seen so far."""
         return sum(state.query_edge(edge) for state in self._windows.values())
 
+    def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """Lifetime estimates for many edges at once.
+
+        Each opened window answers the whole block through its own vectorized
+        ``query_edges`` path; the per-window estimates are summed, matching
+        :meth:`query_edge_lifetime` element-wise.
+        """
+        if len(edges) == 0:
+            return []
+        totals = np.zeros(len(edges), dtype=np.float64)
+        for window in sorted(self._windows):
+            totals += np.asarray(
+                self._windows[window].estimator.query_edges(edges), dtype=np.float64
+            )
+        return totals.tolist()
+
+    def query_subgraph(self, query: SubgraphQuery) -> float:
+        """Lifetime aggregate subgraph estimate (per-edge decomposition)."""
+        return query.combine(self.query_edges(query.edges))
+
+    def confidence(self, edge: EdgeKey) -> ConfidenceInterval:
+        """Lifetime confidence interval for an edge estimate.
+
+        Per-window Equation-1 intervals compose additively: the estimate and
+        additive bound sum across windows, and the failure probability is the
+        union bound over the per-window failure events (clamped to 1).
+        """
+        return self.confidence_batch([edge])[0]
+
+    def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
+        """Lifetime confidence intervals for many edges at once."""
+        if len(edges) == 0:
+            return []
+        estimates = np.zeros(len(edges), dtype=np.float64)
+        bounds = np.zeros(len(edges), dtype=np.float64)
+        failures = np.zeros(len(edges), dtype=np.float64)
+        for window in sorted(self._windows):
+            intervals = self._windows[window].estimator.confidence_batch(edges)
+            estimates += np.asarray([iv.estimate for iv in intervals])
+            bounds += np.asarray([iv.additive_bound for iv in intervals])
+            failures += np.asarray([iv.failure_probability for iv in intervals])
+        return [
+            ConfidenceInterval(
+                estimate=float(estimate),
+                additive_bound=float(bound),
+                failure_probability=float(min(1.0, failure)),
+            )
+            for estimate, bound, failure in zip(estimates, bounds, failures)
+        ]
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Complete windowed state: every window's estimator plus the roll
+        machinery (reservoir, previous-window sample, RNG state)."""
+        return {
+            "config": self.config,
+            "window_length": self.window_length,
+            "sample_size": self.sample_size,
+            "rng_state": self._rng.bit_generator.state,
+            "windows": {
+                index: (
+                    "gsketch" if isinstance(state.estimator, GSketch) else "global",
+                    state.estimator.state_dict(),
+                )
+                for index, state in self._windows.items()
+            },
+            "current_window": self._current_window,
+            "reservoir": list(self._reservoir),
+            "reservoir_seen": self._reservoir_seen,
+            "previous_sample": (
+                None
+                if self._previous_sample is None
+                else (list(self._previous_sample), self._previous_sample.name)
+            ),
+            "previous_window_size": self._previous_window_size,
+            "elements_processed": self._elements_processed,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WindowedGSketch":
+        """Revive a windowed estimator from a :meth:`state_dict` snapshot."""
+        sketch = cls(
+            config=state["config"],
+            window_length=state["window_length"],
+            sample_size=state["sample_size"],
+        )
+        sketch._rng.bit_generator.state = state["rng_state"]
+        for index, (kind, estimator_state) in state["windows"].items():
+            estimator: GSketch | GlobalSketch
+            if kind == "gsketch":
+                estimator = GSketch.from_state(estimator_state)
+            elif kind == "global":
+                estimator = GlobalSketch.from_state(estimator_state)
+            else:
+                raise ValueError(f"unknown window estimator kind {kind!r}")
+            sketch._windows[int(index)] = _WindowState(index=int(index), estimator=estimator)
+        sketch._current_window = state["current_window"]
+        sketch._reservoir = [StreamEdge(*edge) for edge in state["reservoir"]]
+        sketch._reservoir_seen = int(state["reservoir_seen"])
+        if state["previous_sample"] is not None:
+            edges, name = state["previous_sample"]
+            sketch._previous_sample = GraphStream(
+                [StreamEdge(*edge) for edge in edges], name=name, validate=False
+            )
+        sketch._previous_window_size = int(state["previous_window_size"])
+        sketch._elements_processed = int(state["elements_processed"])
+        return sketch
+
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    @property
+    def elements_processed(self) -> int:
+        """Number of stream elements ingested so far."""
+        return self._elements_processed
+
     @property
     def num_windows(self) -> int:
         """Number of windows opened so far."""

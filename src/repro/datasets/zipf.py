@@ -33,3 +33,30 @@ def bounded_zipf_sample(
     cdf[-1] = 1.0
     uniforms = rng.random(size)
     return np.searchsorted(cdf, uniforms, side="left").astype(np.int64)
+
+
+def zipf_stream(
+    num_edges: int,
+    population: int = 2_000,
+    exponent: float = 1.2,
+    seed: SeedLike = 7,
+    name: str = "zipf",
+) -> "GraphStream":
+    """A Zipf-source arrival stream: rank-skewed sources, uniform targets.
+
+    The canonical synthetic-stream assembly shared by the CLI and the
+    throughput benchmark: timestamps are arrival indices and every element
+    carries unit frequency.
+    """
+    from repro.graph.stream import GraphStream
+
+    rng = resolve_rng(seed)
+    sources = bounded_zipf_sample(population, num_edges, exponent, seed=rng)
+    targets = rng.integers(0, population * 2, size=num_edges)
+    return GraphStream.from_tuples(
+        (
+            (int(s), int(t), float(i), 1.0)
+            for i, (s, t) in enumerate(zip(sources, targets))
+        ),
+        name=name,
+    )

@@ -31,12 +31,14 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import GSketchConfig
+from repro.core.estimator import ConfidenceInterval
 from repro.core.gsketch import (
     DEFAULT_BATCH_SIZE,
     GSketch,
-    chunked_batches,
+    iter_edge_batches,
     make_outlier_sketch,
     make_partition_sketch,
+    routed_confidence_batch,
 )
 from repro.core.partition_tree import PartitionTree
 from repro.core.partitioner import build_partition_tree
@@ -49,6 +51,7 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
+from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
 
 
@@ -182,13 +185,9 @@ class ShardedGSketch:
         stream's cached columnar form; arbitrary iterables (including
         unbounded generators) are chunked lazily without materializing.
         """
-        if isinstance(stream, GraphStream):
-            batches: Iterable[EdgeBatch] = stream.iter_batches(batch_size)
-        else:
-            batches = chunked_batches(stream, batch_size)
         self._ensure_started()
         processed = 0
-        for batch in batches:
+        for batch in iter_edge_batches(stream, batch_size):
             processed += self.ingest_batch(batch)
         return processed
 
@@ -257,9 +256,95 @@ class ShardedGSketch:
             estimates[group.positions] = shard.estimate_group(group)
         return estimates.tolist()
 
+    def query_subgraph(self, query: SubgraphQuery) -> float:
+        """Estimate an aggregate subgraph query by per-edge decomposition.
+
+        Constituent edges ride the vectorized shard query path
+        (:meth:`query_edges`), so the answer is bit-identical to the same
+        query served by a single :class:`~repro.core.gsketch.GSketch`.
+        """
+        return query.combine(self.query_edges(query.edges))
+
+    def confidence(self, edge: EdgeKey) -> ConfidenceInterval:
+        """Per-partition Equation-1 confidence interval for an edge estimate."""
+        return self.confidence_batch([edge])[0]
+
+    def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
+        """Equation-1 confidence intervals for many edges at once.
+
+        Shares :func:`~repro.core.gsketch.routed_confidence_batch` with
+        :meth:`GSketch.confidence_batch` — only the partition → sketch
+        resolution differs (shard-resident sketches) — so the two paths are
+        bit-identical by construction.
+        """
+        return self.confidence_batch_with_partitions(edges)[0]
+
+    def confidence_batch_with_partitions(
+        self, edges: Sequence[EdgeKey]
+    ) -> "tuple[List[ConfidenceInterval], List[int]]":
+        """Intervals plus the partition id that answered each edge."""
+        self._synchronize()
+        return routed_confidence_batch(
+            self._batch_router, edges, self._sketch_for_partition
+        )
+
+    def _sketch_for_partition(self, partition: int) -> CountMinSketch:
+        """Resolve a partition's physical sketch from its owning shard."""
+        return self._shards[int(self._shard_lookup[partition])].sketch_for(partition)
+
     def is_outlier_query(self, edge: EdgeKey) -> bool:
         """Whether the edge query would be answered by the outlier sketch."""
         return self.router.is_outlier(edge[0])
+
+    # ------------------------------------------------------------------ #
+    # Snapshot protocol
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict:
+        """Complete engine state: partitioning, shard plan and shard counters.
+
+        Worker state is synchronized back to the coordinator first, so the
+        snapshot is authoritative for any executor.
+        """
+        self._synchronize()
+        return {
+            "config": self.config,
+            "tree": self.tree,
+            "router": self.router,
+            "stats": self.stats,
+            "plan": self.plan,
+            "shards": [shard.state_dict() for shard in self._shards],
+            "elements_processed": self._elements_processed,
+            "outlier_elements": self._outlier_elements,
+        }
+
+    @classmethod
+    def from_state(
+        cls, state: dict, executor: Optional[ShardExecutor] = None
+    ) -> "ShardedGSketch":
+        """Revive an engine from a :meth:`state_dict` snapshot.
+
+        The executor is not part of the snapshot (it is a process-local
+        resource); pass one explicitly or get the sequential default.
+        """
+        engine = cls(
+            config=state["config"],
+            tree=state["tree"],
+            router=state["router"],
+            stats=state["stats"],
+            executor=executor,
+            plan=state["plan"],
+        )
+        shard_states = state["shards"]
+        if len(shard_states) != len(engine._shards):
+            raise ValueError(
+                f"snapshot has {len(shard_states)} shard states, plan expects "
+                f"{len(engine._shards)}"
+            )
+        for shard, shard_state in zip(engine._shards, shard_states):
+            shard.load_state_from(SketchShard.from_state(shard_state))
+        engine._elements_processed = int(state["elements_processed"])
+        engine._outlier_elements = int(state["outlier_elements"])
+        return engine
 
     # ------------------------------------------------------------------ #
     # Checkpointing / re-aggregation

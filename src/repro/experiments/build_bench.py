@@ -132,6 +132,37 @@ def _time_build(builder, stats, config, weights, repeats: int) -> Tuple[float, P
     return best, tree
 
 
+def facade_roundtrip_check(seed: int, num_edges: int = 5_000) -> bool:
+    """End-to-end acceptance check through the public engine API.
+
+    Builds a gSketch from an R-MAT sample via
+    :meth:`~repro.api.engine.SketchEngine.builder`, ingests the stream,
+    snapshots to disk, restores, and verifies the restored engine answers a
+    block of edge queries bit-identically.  Keeps the benchmark honest about
+    the surface users actually reach the partitioner through.
+    """
+    import os
+    import tempfile
+
+    from repro.api.engine import SketchEngine
+    from repro.datasets.rmat import rmat_stream
+
+    stream = rmat_stream(num_edges, scale=10, seed=seed, name="facade-check")
+    config = GSketchConfig(total_cells=max(16, num_edges // 4), depth=4, seed=seed)
+    engine = SketchEngine.builder().config(config).dataset(stream).build()
+    engine.ingest(stream)
+    queries = sorted(stream.distinct_edges())[:100]
+    expected = engine.estimator.query_edges(queries)
+    with tempfile.TemporaryDirectory() as tmpdir:
+        path = os.path.join(tmpdir, "engine.snap")
+        engine.save(path)
+        restored = SketchEngine.load(path)
+    return (
+        restored.backend == engine.backend
+        and restored.estimator.query_edges(queries) == expected
+    )
+
+
 def run_build_bench(
     sample_sizes: Sequence[int] = DEFAULT_SAMPLE_SIZES,
     depth: int = 4,
@@ -194,6 +225,7 @@ def run_build_bench(
             "columnar": "build_partition_tree (single global sort + prefix sums)",
         },
         "trees_identical": bool(all_identical),
+        "facade_roundtrip_ok": facade_roundtrip_check(seed),
         "results": [asdict(r) for r in results],
     }
 
@@ -247,6 +279,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"wrote {args.output}")
     print(f"trees_identical: {report['trees_identical']}")
+    print(f"facade_roundtrip_ok: {report['facade_roundtrip_ok']}")
     header = (
         f"{'edges':>8} {'vertices':>9} {'scenario':<15} "
         f"{'scalar s':>10} {'columnar s':>11} {'speedup':>9}"
@@ -263,6 +296,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     failed = not report["trees_identical"]
     if failed:
         print("FAIL: scalar and columnar builders produced different trees")
+    if not report["facade_roundtrip_ok"]:
+        print("FAIL: SketchEngine build→ingest→save→load round-trip changed answers")
+        failed = True
     if args.max_seconds is not None:
         for row in report["results"]:
             if row["columnar_seconds"] > args.max_seconds:

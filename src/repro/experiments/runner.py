@@ -13,9 +13,8 @@ import functools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.api.engine import SketchEngine
 from repro.core.config import GSketchConfig
-from repro.core.global_sketch import GlobalSketch
-from repro.core.gsketch import GSketch
 from repro.datasets.registry import load_dataset
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.memory import memory_sweep_for_stream
@@ -173,27 +172,37 @@ def _gsketch_config(config: ExperimentConfig, memory_bytes: int) -> GSketchConfi
 def _build_estimators(
     env: _Environment, memory_bytes: int, scenario: str
 ) -> Dict[str, Tuple[object, float]]:
-    """Construct and populate both estimators; returns method -> (estimator, Tc)."""
+    """Construct and populate both estimators; returns method -> (estimator, Tc).
+
+    Both estimators are built and fed through the
+    :class:`~repro.api.engine.SketchEngine` facade, the same surface users and
+    the CLI program against; evaluation keeps the raw backend objects so the
+    metrics code stays backend-agnostic.
+    """
     config = env.config
     sketch_config = _gsketch_config(config, memory_bytes)
 
     estimators: Dict[str, Tuple[object, float]] = {}
 
     with Timer() as timer:
-        global_sketch = GlobalSketch(sketch_config.without_outlier())
-        global_sketch.process(env.stream)
-    estimators[METHOD_GLOBAL] = (global_sketch, timer.elapsed)
+        global_engine = (
+            SketchEngine.builder().config(sketch_config.without_outlier()).build()
+        )
+        global_engine.ingest(env.stream)
+    estimators[METHOD_GLOBAL] = (global_engine.estimator, timer.elapsed)
 
     with Timer() as timer:
+        builder = (
+            SketchEngine.builder()
+            .config(sketch_config)
+            .sample(env.sample)
+            .stream_size_hint(len(env.stream))
+        )
         if scenario == SCENARIO_WORKLOAD:
-            gsketch = GSketch.build_with_workload(
-                env.sample, env.workload_sample, sketch_config,
-                stream_size_hint=len(env.stream),
-            )
-        else:
-            gsketch = GSketch.build(env.sample, sketch_config, stream_size_hint=len(env.stream))
-        gsketch.process(env.stream)
-    estimators[METHOD_GSKETCH] = (gsketch, timer.elapsed)
+            builder = builder.workload(env.workload_sample)
+        gsketch_engine = builder.build()
+        gsketch_engine.ingest(env.stream)
+    estimators[METHOD_GSKETCH] = (gsketch_engine.estimator, timer.elapsed)
     return estimators
 
 
@@ -335,8 +344,15 @@ def run_outlier_experiment(config: ExperimentConfig) -> Tuple[OutlierSweepPoint,
     rows: List[OutlierSweepPoint] = []
     for memory_bytes in env.memory_budgets:
         sketch_config = _gsketch_config(config, memory_bytes)
-        gsketch = GSketch.build(env.sample, sketch_config, stream_size_hint=len(env.stream))
-        gsketch.process(env.stream)
+        engine = (
+            SketchEngine.builder()
+            .config(sketch_config)
+            .sample(env.sample)
+            .stream_size_hint(len(env.stream))
+            .build()
+        )
+        engine.ingest(env.stream)
+        gsketch = engine.estimator
 
         all_result = evaluate_edge_queries(
             gsketch.query_edge,

@@ -5,10 +5,12 @@ claims.  This runner measures edges/second for
 
 * ``per-edge``   — :meth:`~repro.core.gsketch.GSketch.update` per element
   (the paper's online-maintenance loop, all-Python);
-* ``batched``    — :meth:`~repro.core.gsketch.GSketch.process`, the
-  vectorized hash → route → group → ``np.add.at`` pipeline;
+* ``batched``    — the vectorized hash → route → group → ``np.add.at``
+  pipeline, driven through the :class:`~repro.api.engine.SketchEngine`
+  facade (the public ingest surface);
 * ``sharded-N``  — :class:`~repro.distributed.coordinator.ShardedGSketch`
   with N shards (N=1 runs the sequential executor; N>1 the thread pool),
+  built and fed through the same facade,
 
 over two generators (R-MAT and Zipf), verifies that every mode returns
 identical estimates on a sample of query edges, and writes the results to
@@ -31,19 +33,17 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.api.engine import SketchEngine
 from repro.core.config import GSketchConfig
 from repro.core.gsketch import GSketch
-from repro.datasets.rmat import RMATConfig, generate_rmat_edges
-from repro.datasets.zipf import bounded_zipf_sample
+from repro.datasets.rmat import rmat_stream
+from repro.datasets.zipf import zipf_stream
 from repro.distributed import (
     InstrumentedExecutor,
     SequentialExecutor,
-    ShardedGSketch,
     ThreadPoolExecutor,
 )
 from repro.graph.sampling import reservoir_sample
-from repro.graph.stream import GraphStream
-from repro.utils.rng import resolve_rng
 
 DEFAULT_EDGES = 100_000
 QUICK_EDGES = 10_000
@@ -69,32 +69,6 @@ class ThroughputResult:
     edges_per_second: float
     speedup_vs_per_edge: Optional[float] = None
     breakdown: Optional[Dict[str, object]] = field(default=None)
-
-
-def rmat_stream(num_edges: int, scale: int = 14, seed: int = 7) -> GraphStream:
-    """A raw R-MAT arrival stream (power-law sources, repeated cells)."""
-    sources, targets = generate_rmat_edges(
-        RMATConfig(seed=seed, scale=scale, num_edges=num_edges)
-    )
-    edges = [
-        (int(s), int(t), float(i), 1.0)
-        for i, (s, t) in enumerate(zip(sources, targets))
-    ]
-    return GraphStream.from_tuples(edges, name="rmat")
-
-
-def zipf_stream(
-    num_edges: int, population: int = 2_000, exponent: float = 1.2, seed: int = 7
-) -> GraphStream:
-    """A Zipf-source stream: rank-skewed sources, uniform targets."""
-    rng = resolve_rng(seed)
-    sources = bounded_zipf_sample(population, num_edges, exponent, seed=rng)
-    targets = rng.integers(0, population * 2, size=num_edges)
-    edges = [
-        (int(s), int(t), float(i), 1.0)
-        for i, (s, t) in enumerate(zip(sources, targets))
-    ]
-    return GraphStream.from_tuples(edges, name="zipf")
 
 
 def _time_mode(ingest: Callable[[], object]) -> float:
@@ -149,10 +123,12 @@ def run_throughput(
             )
         )
 
-        # --- batched -------------------------------------------------- #
-        batched = fresh()
-        seconds = _time_mode(lambda: batched.process(stream, batch_size))
-        parity_ok &= batched.query_edges(query_edges) == reference_estimates
+        # --- batched (through the facade) ----------------------------- #
+        batched_engine = SketchEngine.from_estimator(fresh())
+        seconds = _time_mode(lambda: batched_engine.ingest(stream, batch_size))
+        parity_ok &= (
+            batched_engine.estimator.query_edges(query_edges) == reference_estimates
+        )
         results.append(
             ThroughputResult(
                 dataset=name,
@@ -171,18 +147,21 @@ def run_throughput(
                 if num_shards == 1
                 else ThreadPoolExecutor(max_workers=num_shards)
             )
-            sharded = ShardedGSketch.build(
-                sample,
-                config,
-                num_shards=num_shards,
-                executor=executor,
-                stream_size_hint=len(stream),
+            sharded_engine = (
+                SketchEngine.builder()
+                .config(config)
+                .sample(sample)
+                .stream_size_hint(len(stream))
+                .sharded(num_shards, executor=executor)
+                .build()
             )
             seconds = _time_mode(
-                lambda: sharded.ingest(stream, batch_size=batch_size)
+                lambda: sharded_engine.ingest(stream, batch_size=batch_size)
             )
-            parity_ok &= sharded.query_edges(query_edges) == reference_estimates
-            sharded.close()
+            parity_ok &= (
+                sharded_engine.estimator.query_edges(query_edges) == reference_estimates
+            )
+            sharded_engine.close()
             busy = dict(sorted(executor.shard_busy_seconds.items()))
             breakdown = {
                 "coordinator_seconds": round(

@@ -75,6 +75,20 @@ class EdgeBatch:
         return cls(sources, targets, frequencies, timestamps)
 
     @classmethod
+    def from_edge_keys(cls, keys: Sequence) -> "EdgeBatch":
+        """Build a zero-frequency batch from bare ``(source, target)`` keys.
+
+        Query paths use this to canonicalize edge keys through the same
+        columnar pipeline as ingestion, so batched estimates hash
+        bit-identically to per-edge lookups.
+        """
+        return cls.from_arrays(
+            sources=_column([k[0] for k in keys]),
+            targets=_column([k[1] for k in keys]),
+            frequencies=np.zeros(len(keys), dtype=np.float64),
+        )
+
+    @classmethod
     def from_arrays(
         cls,
         sources: np.ndarray,
