@@ -1,0 +1,269 @@
+#!/usr/bin/env python
+"""Benchmark regression gate: compare bench reports against committed floors.
+
+CI records throughput and partition-build benchmark artifacts on every run;
+this script turns them from *recorded* numbers into *enforced* ones.  It
+reads the two reports, evaluates them against the ratio floors committed in
+``experiments/bench_baselines.json``, prints a comparison table, appends the
+same table as markdown to ``$GITHUB_STEP_SUMMARY`` when that variable is set
+(the GitHub Actions job summary), and exits non-zero on any regression.
+
+Floors are *ratios between modes of the same run* (batched vs per-edge,
+shared-memory sharded vs batched, columnar vs scalar build), so they are
+portable across machine speeds; the ``quick`` profile carries loose sanity
+floors suitable for PR smoke sizes, the ``full`` profile carries the real
+performance bars enforced nightly and locally::
+
+    python experiments/check_bench.py --profile quick \
+        --throughput BENCH_throughput_ci.json --build BENCH_build_ci.json
+    python experiments/check_bench.py --profile full \
+        --throughput BENCH_throughput.json --build BENCH_build.json
+
+A floor passes when ``measured >= min_ratio * (1 - tolerance)``; the
+tolerance (from the baselines file, overridable with ``--tolerance``)
+absorbs runner noise without letting a real regression through.  Boolean
+gates (estimate parity, tree equivalence, facade round-trip) carry no
+tolerance: they must hold exactly.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class CheckResult:
+    """One evaluated gate row."""
+
+    name: str
+    measured: str
+    required: str
+    ok: bool
+
+    @property
+    def status(self) -> str:
+        return "ok" if self.ok else "FAIL"
+
+
+def _load_json(path: str, label: str) -> dict:
+    if not os.path.exists(path):
+        raise SystemExit(f"check_bench: {label} report not found: {path}")
+    with open(path, "r", encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def _throughput_rates(report: dict) -> Dict[tuple, float]:
+    return {
+        (row["dataset"], row["mode"]): float(row["edges_per_second"])
+        for row in report["results"]
+    }
+
+
+def check_throughput(
+    report: dict, rules: dict, tolerance: float
+) -> List[CheckResult]:
+    """Evaluate parity and mode-ratio floors on a throughput report."""
+    checks: List[CheckResult] = []
+    if rules.get("require_parity", True):
+        parity = bool(report.get("parity_ok", False))
+        checks.append(
+            CheckResult(
+                name="throughput: estimate parity across modes",
+                measured=str(parity),
+                required="True",
+                ok=parity,
+            )
+        )
+    rates = _throughput_rates(report)
+    for floor in rules.get("floors", []):
+        dataset = floor["dataset"]
+        numerator = floor["numerator"]
+        denominator = floor["denominator"]
+        min_ratio = float(floor["min_ratio"])
+        effective = min_ratio * (1.0 - tolerance)
+        name = f"throughput[{dataset}]: {numerator} / {denominator}"
+        num = rates.get((dataset, numerator))
+        den = rates.get((dataset, denominator))
+        if num is None or den is None or den <= 0:
+            missing = numerator if num is None else denominator
+            checks.append(
+                CheckResult(
+                    name=name,
+                    measured=f"mode {missing!r} missing from report",
+                    required=f">= {effective:.2f}",
+                    ok=False,
+                )
+            )
+            continue
+        ratio = num / den
+        checks.append(
+            CheckResult(
+                name=name,
+                measured=f"{ratio:.2f}x",
+                required=f">= {effective:.2f}x ({min_ratio:.2f} - {tolerance:.0%})",
+                ok=ratio >= effective,
+            )
+        )
+    return checks
+
+
+def check_build(report: dict, rules: dict, tolerance: float) -> List[CheckResult]:
+    """Evaluate equivalence and columnar-speedup floors on a build report."""
+    checks: List[CheckResult] = []
+    if rules.get("require_equivalence", True):
+        identical = bool(report.get("trees_identical", False))
+        checks.append(
+            CheckResult(
+                name="build: columnar and scalar trees identical",
+                measured=str(identical),
+                required="True",
+                ok=identical,
+            )
+        )
+    if rules.get("require_facade_roundtrip", False):
+        roundtrip = bool(report.get("facade_roundtrip_ok", False))
+        checks.append(
+            CheckResult(
+                name="build: facade build/ingest round-trip",
+                measured=str(roundtrip),
+                required="True",
+                ok=roundtrip,
+            )
+        )
+    min_speedup = rules.get("min_speedup")
+    if min_speedup is not None:
+        effective = float(min_speedup) * (1.0 - tolerance)
+        speedups = [float(row["speedup"]) for row in report.get("results", [])]
+        if not speedups:
+            checks.append(
+                CheckResult(
+                    name="build: columnar speedup vs scalar (min over rows)",
+                    measured="no rows in report",
+                    required=f">= {effective:.2f}x",
+                    ok=False,
+                )
+            )
+        else:
+            worst = min(speedups)
+            checks.append(
+                CheckResult(
+                    name="build: columnar speedup vs scalar (min over rows)",
+                    measured=f"{worst:.2f}x",
+                    required=(
+                        f">= {effective:.2f}x ({float(min_speedup):.2f} - "
+                        f"{tolerance:.0%})"
+                    ),
+                    ok=worst >= effective,
+                )
+            )
+    return checks
+
+
+def render_markdown(checks: Sequence[CheckResult], profile: str) -> str:
+    """The comparison table as GitHub-flavoured markdown."""
+    failed = sum(not check.ok for check in checks)
+    verdict = "all floors hold" if failed == 0 else f"{failed} regression(s)"
+    lines = [
+        f"## Benchmark gate — `{profile}` profile: {verdict}",
+        "",
+        "| check | measured | required | status |",
+        "| --- | --- | --- | --- |",
+    ]
+    for check in checks:
+        icon = "✅" if check.ok else "❌"
+        lines.append(
+            f"| {check.name} | {check.measured} | {check.required} | {icon} |"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def render_text(checks: Sequence[CheckResult]) -> str:
+    width = max(len(check.name) for check in checks)
+    rows = [
+        f"{check.name:<{width}}  {check.status:<4}  "
+        f"measured {check.measured}  required {check.required}"
+        for check in checks
+    ]
+    return "\n".join(rows)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--profile",
+        choices=("quick", "full"),
+        required=True,
+        help="which floor set to enforce (quick = PR smoke, full = nightly)",
+    )
+    parser.add_argument(
+        "--throughput",
+        default="BENCH_throughput_ci.json",
+        help="throughput report to check (default BENCH_throughput_ci.json)",
+    )
+    parser.add_argument(
+        "--build",
+        default="BENCH_build_ci.json",
+        help="partition-build report to check (default BENCH_build_ci.json)",
+    )
+    parser.add_argument(
+        "--baselines",
+        default=os.path.join(os.path.dirname(__file__), "bench_baselines.json"),
+        help="committed floor definitions (default experiments/bench_baselines.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        help="override the baseline file's relative tolerance (e.g. 0.15)",
+    )
+    args = parser.parse_args(argv)
+
+    baselines = _load_json(args.baselines, "baselines")
+    profile = baselines["profiles"].get(args.profile)
+    if profile is None:
+        raise SystemExit(
+            f"check_bench: profile {args.profile!r} not in {args.baselines}"
+        )
+    tolerance = (
+        args.tolerance if args.tolerance is not None else float(baselines["tolerance"])
+    )
+    if not 0.0 <= tolerance < 1.0:
+        raise SystemExit(f"check_bench: tolerance must be in [0, 1), got {tolerance}")
+
+    checks: List[CheckResult] = []
+    if "throughput" in profile:
+        report = _load_json(args.throughput, "throughput")
+        checks.extend(check_throughput(report, profile["throughput"], tolerance))
+    if "build" in profile:
+        report = _load_json(args.build, "build")
+        checks.extend(check_build(report, profile["build"], tolerance))
+    if not checks:
+        raise SystemExit("check_bench: profile defines no checks")
+
+    print(render_text(checks))
+    summary_path = os.environ.get("GITHUB_STEP_SUMMARY")
+    if summary_path:
+        with open(summary_path, "a", encoding="utf-8") as handle:
+            handle.write(render_markdown(checks, args.profile))
+            handle.write("\n")
+
+    failed = [check for check in checks if not check.ok]
+    if failed:
+        print(
+            f"check_bench: {len(failed)} regression(s) against the "
+            f"{args.profile!r} floors",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"check_bench: all {len(checks)} checks hold ({args.profile!r} profile)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

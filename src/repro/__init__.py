@@ -37,7 +37,13 @@ from repro.core.config import GSketchConfig
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
 from repro.core.windowed import WindowedGSketch
-from repro.distributed import ShardedGSketch, ShardPlan
+from repro.distributed import (
+    ShardExecutionError,
+    ShardPlan,
+    ShardedGSketch,
+    SharedMemoryExecutor,
+    make_executor,
+)
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import StreamEdge
 from repro.graph.stream import GraphStream
@@ -60,8 +66,10 @@ __all__ = [
     "GlobalSketch",
     "GraphStream",
     "Provenance",
+    "ShardExecutionError",
     "ShardPlan",
     "ShardedGSketch",
+    "SharedMemoryExecutor",
     "SketchEngine",
     "StreamEdge",
     "SubgraphQuery",
@@ -69,5 +77,6 @@ __all__ = [
     "WindowedGSketch",
     "__version__",
     "load_snapshot",
+    "make_executor",
     "save_snapshot",
 ]

@@ -43,7 +43,7 @@ from repro.core.router import OUTLIER_PARTITION
 from repro.core.windowed import WindowedGSketch
 from repro.datasets.registry import load_dataset
 from repro.distributed.coordinator import ShardedGSketch
-from repro.distributed.executor import ShardExecutor
+from repro.distributed.executor import ShardExecutor, make_executor
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.sampling import reservoir_sample
@@ -282,7 +282,7 @@ class EngineBuilder:
         self._workload: Optional[Union[QueryWorkload, GraphStream]] = None
         self._smoothing_alpha = 1.0
         self._num_shards: Optional[int] = None
-        self._executor: Optional[ShardExecutor] = None
+        self._executor: Optional[Union[str, ShardExecutor]] = None
         self._window_length: Optional[float] = None
         self._window_sample_size = DEFAULT_SAMPLE_SIZE
         self._stream_size_hint: Optional[int] = None
@@ -340,12 +340,30 @@ class EngineBuilder:
 
     # -- variants ------------------------------------------------------ #
     def sharded(
-        self, num_shards: int, executor: Optional[ShardExecutor] = None
+        self, num_shards: int, executor: Optional[Union[str, ShardExecutor]] = None
     ) -> "EngineBuilder":
         """Serve the partitioning from ``num_shards`` shard workers."""
         if num_shards <= 0:
             raise EngineError(f"shard count must be > 0, got {num_shards}")
         self._num_shards = num_shards
+        if executor is not None:
+            self._executor = executor
+        return self
+
+    def executor(self, executor: Union[str, ShardExecutor]) -> "EngineBuilder":
+        """Choose the sharded backend's execution strategy.
+
+        Accepts a canonical name — ``"sequential"`` (in-thread reference),
+        ``"threads"`` (shared thread pool), ``"processes"`` (persistent
+        worker process per shard, state pulled on sync), or ``"shared"``
+        (shared-memory arenas with pipelined dispatch; see
+        :class:`~repro.distributed.shared_memory.SharedMemoryExecutor`) — or
+        an already-constructed
+        :class:`~repro.distributed.executor.ShardExecutor`.  Only meaningful
+        together with :meth:`sharded`; teardown is owned by the engine
+        (``engine.close()`` / context-manager exit releases workers and
+        shared memory, leaving the estimator snapshot-safe).
+        """
         self._executor = executor
         return self
 
@@ -364,6 +382,11 @@ class EngineBuilder:
             raise EngineError("a space budget is required: call .config(...) first")
         if self._window_length is not None and self._num_shards is not None:
             raise EngineError("windowed and sharded variants are mutually exclusive")
+        if self._executor is not None and self._num_shards is None:
+            raise EngineError(
+                "an executor only applies to the sharded backend: call .sharded(n) too"
+            )
+        executor = self._resolve_executor()
 
         if self._window_length is not None:
             if self._workload is not None:
@@ -405,7 +428,7 @@ class EngineBuilder:
                 # Workload-aware sharding has no direct ShardedGSketch
                 # constructor; re-shard the freshly built (empty) sketch.
                 sharded = ShardedGSketch.from_gsketch(
-                    gsketch, num_shards=self._num_shards, executor=self._executor
+                    gsketch, num_shards=self._num_shards, executor=executor
                 )
                 return SketchEngine(sharded, BACKEND_SHARDED)
             return SketchEngine(gsketch, BACKEND_GSKETCH)
@@ -415,12 +438,19 @@ class EngineBuilder:
                 sample,
                 self._config,
                 num_shards=self._num_shards,
-                executor=self._executor,
+                executor=executor,
                 stream_size_hint=hint,
             )
             return SketchEngine(sharded, BACKEND_SHARDED)
         gsketch = GSketch.build(sample, self._config, stream_size_hint=hint)
         return SketchEngine(gsketch, BACKEND_GSKETCH)
+
+    def _resolve_executor(self) -> Optional[ShardExecutor]:
+        """Resolve the executor spec (name or instance) to a backend object."""
+        try:
+            return make_executor(self._executor)
+        except ValueError as exc:
+            raise EngineError(str(exc)) from exc
 
     def _resolve_sample(self) -> tuple:
         """The partitioning sample and stream-size hint, resolving the dataset."""

@@ -14,7 +14,6 @@ The configuration mirrors the knobs exposed by the paper:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
 
 from repro.utils.validation import (
     require_in_range,

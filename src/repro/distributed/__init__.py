@@ -15,6 +15,9 @@ Layers (coordinator → shards → localized sketches):
   state: batch apply, serialize/deserialize checkpoints, exact merge;
 * :mod:`~repro.distributed.executor` — sequential, thread-pool and
   per-shard-process execution backends behind one protocol;
+* :mod:`~repro.distributed.shared_memory` — per-shard workers over
+  shared-memory counter arenas with fused apply kernels and pipelined
+  (double-buffered) dispatch;
 * :class:`~repro.distributed.coordinator.ShardedGSketch` — the engine:
   batch ingestion, vectorized queries, checkpointing and re-aggregation back
   into a plain :class:`~repro.core.gsketch.GSketch`.
@@ -29,11 +32,14 @@ from repro.distributed.executor import (
     InstrumentedExecutor,
     ProcessPoolExecutor,
     SequentialExecutor,
+    ShardExecutionError,
     ShardExecutor,
     ThreadPoolExecutor,
+    make_executor,
 )
 from repro.distributed.plan import ShardPlan
 from repro.distributed.shard import SketchShard
+from repro.distributed.shared_memory import SharedMemoryExecutor
 
 __all__ = [
     "BatchRouter",
@@ -42,9 +48,12 @@ __all__ = [
     "ProcessPoolExecutor",
     "RoutedBatch",
     "SequentialExecutor",
+    "ShardExecutionError",
     "ShardExecutor",
     "ShardPlan",
     "ShardedGSketch",
+    "SharedMemoryExecutor",
     "SketchShard",
     "ThreadPoolExecutor",
+    "make_executor",
 ]

@@ -44,7 +44,11 @@ from repro.core.partition_tree import PartitionTree
 from repro.core.partitioner import build_partition_tree
 from repro.core.router import OUTLIER_PARTITION, VertexRouter
 from repro.core.batch_router import BatchRouter, PartitionGroup
-from repro.distributed.executor import SequentialExecutor, ShardExecutor
+from repro.distributed.executor import (
+    SequentialExecutor,
+    ShardExecutionError,
+    ShardExecutor,
+)
 from repro.distributed.plan import ShardPlan
 from repro.distributed.shard import SketchShard
 from repro.graph.batch import EdgeBatch
@@ -110,6 +114,7 @@ class ShardedGSketch:
         self._outlier_elements = 0
         self._started = False
         self._stale = False
+        self._sync_failed = False
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -192,7 +197,15 @@ class ShardedGSketch:
         return processed
 
     def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
-        """Route one block to its shards and apply it through the executor."""
+        """Route one block to its shards and apply it through the executor.
+
+        Executors exposing ``apply_async`` (the shared-memory backend) are
+        dispatched without waiting for the batch to be applied: the next call
+        routes batch N+1 while workers still apply batch N (pipelining).  Any
+        read of engine state — queries, snapshots, :meth:`flush` — drains the
+        pipeline first via :meth:`~ShardExecutor.sync`, so observable state is
+        always consistent.
+        """
         if not isinstance(batch, EdgeBatch):
             batch = EdgeBatch.from_edges(list(batch))
         self._ensure_started()
@@ -203,7 +216,18 @@ class ShardedGSketch:
         for group in routed.groups:
             shard_index = int(self._shard_lookup[group.partition])
             work.setdefault(shard_index, []).append(group)
-        self._executor.apply(self._shards, work)
+        dispatch = getattr(self._executor, "apply_async", None)
+        try:
+            if dispatch is not None:
+                dispatch(self._shards, work)
+            else:
+                self._executor.apply(self._shards, work)
+        except ShardExecutionError:
+            # A worker died mid-batch: some shards may hold this batch while
+            # others never saw it.  Poison reads (they would silently serve
+            # inconsistent counters); a checkpoint restore recovers.
+            self._sync_failed = True
+            raise
         self._elements_processed += routed.num_elements
         self._outlier_elements += routed.outlier_count
         self._stale = True
@@ -213,6 +237,15 @@ class ShardedGSketch:
         """Single-element convenience path (routes a one-element batch)."""
         self.ingest_batch([StreamEdge(source, target, 0.0, frequency)])
 
+    def start(self) -> None:
+        """Spawn executor workers eagerly (otherwise lazy on first ingest).
+
+        Useful when worker startup cost (process forks, shared-memory
+        arena allocation) should not be attributed to the first batch —
+        e.g. in throughput measurements or latency-sensitive serving.
+        """
+        self._ensure_started()
+
     def _ensure_started(self) -> None:
         if not self._started:
             self._executor.start(self._shards)
@@ -220,9 +253,26 @@ class ShardedGSketch:
 
     def _synchronize(self) -> None:
         """Pull authoritative state back from out-of-process workers."""
+        if self._sync_failed:
+            raise RuntimeError(
+                "engine state is incomplete: worker synchronization failed "
+                "during close(); updates in flight at the failure are lost. "
+                "Restore a checkpoint (load_shard_states / from_state) to "
+                "resume serving from known-good state."
+            )
         if self._stale:
             self._executor.sync(self._shards)
             self._stale = False
+
+    def flush(self) -> None:
+        """Drain in-flight batches; coordinator state is authoritative after.
+
+        For the process executor this pulls worker state back; for the
+        shared-memory executor it only waits for outstanding acknowledgements
+        (counters are shared views).  Ingestion throughput measurements must
+        include this, or pipelined batches still in flight go uncounted.
+        """
+        self._synchronize()
 
     def _reset_executor(self) -> None:
         """Make the coordinator-resident shard state authoritative again.
@@ -236,6 +286,7 @@ class ShardedGSketch:
             self._executor.close()
             self._started = False
         self._stale = False
+        self._sync_failed = False  # checkpoint restore replaces any lost state
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -420,10 +471,32 @@ class ShardedGSketch:
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Synchronize worker state and release executor resources."""
-        self._synchronize()
-        self._executor.close()
-        self._started = False
+        """Synchronize worker state and release executor resources.
+
+        If a worker died, the synchronization step raises
+        :class:`~repro.distributed.executor.ShardExecutionError` — but the
+        executor is still torn down (processes reaped, shared memory
+        unlinked, sketches detached), so no resources leak, and a repeated
+        :meth:`close` is a clean no-op.  After such a failure the engine is
+        **poisoned**: reads that would need the lost worker state raise
+        instead of silently serving partial counters; restore a checkpoint
+        (:meth:`load_shard_states` / :meth:`from_state`) to recover.
+        """
+        if not self._started:
+            return
+        try:
+            # An already-poisoned engine skips the sync: the failure was
+            # surfaced when it happened, and close() should still release
+            # resources quietly (reads keep raising until a restore).
+            if not self._sync_failed:
+                self._synchronize()
+        except BaseException:
+            if self._stale:
+                self._sync_failed = True
+            raise
+        finally:
+            self._executor.close()
+            self._started = False
 
     def __enter__(self) -> "ShardedGSketch":
         return self

@@ -1,8 +1,9 @@
 """Shard execution backends.
 
 The coordinator never touches sketch counters directly; it hands per-shard
-work lists to a :class:`ShardExecutor`.  Three interchangeable backends share
-the protocol:
+work lists to a :class:`ShardExecutor`.  Four interchangeable backends share
+the protocol (the fourth, :class:`~repro.distributed.shared_memory.SharedMemoryExecutor`,
+lives in its own module):
 
 * :class:`SequentialExecutor` — applies work in the calling thread.  Zero
   overhead, the reference for parity tests, and surprisingly competitive
@@ -14,6 +15,11 @@ the protocol:
   authoritative state is pulled back on :meth:`~ShardExecutor.sync`.  This is
   the single-machine stand-in for a real distributed deployment, and it
   exercises the full serialize → apply → re-aggregate cycle.
+* :class:`~repro.distributed.shared_memory.SharedMemoryExecutor` — per-shard
+  worker processes whose counter tables live in shared-memory arenas; apply
+  ships only routed index/frequency columns, sync is a no-op flush, and
+  dispatch is pipelined (double-buffered).  The fastest out-of-process
+  backend by a wide margin.
 
 All backends produce bit-identical sketch state: work for one shard is always
 applied in submission order, and distinct shards share no counters.
@@ -25,14 +31,117 @@ import concurrent.futures
 import multiprocessing
 import time
 import traceback
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Union
 
 from repro.core.batch_router import PartitionGroup
 from repro.distributed.shard import SketchShard
 
 
+class ShardExecutionError(RuntimeError):
+    """A shard worker failed (crashed, hung up, or reported an exception).
+
+    Raised instead of an opaque pipe error / indefinite hang when an
+    out-of-process worker dies mid-stream.  ``shard_index`` names the shard
+    whose worker failed; the executor is unusable afterwards, but
+    :meth:`~ShardExecutor.close` stays safe (and idempotent) so callers can
+    tear down cleanly.
+    """
+
+    def __init__(self, shard_index: int, message: str) -> None:
+        super().__init__(f"shard {shard_index}: {message}")
+        self.shard_index = shard_index
+
+
+def send_to_worker(process, pipe, shard_index: int, message: tuple, lost_note: str) -> None:
+    """Send one message to a shard worker, surfacing a dead worker clearly.
+
+    Shared by every pipe-and-process backend so death detection cannot
+    drift between them.  ``lost_note`` describes what a death means for the
+    backend's data (pulled-state backends lose unsynced updates; shared-
+    arena backends keep already-applied counters).
+    """
+    if not process.is_alive():
+        raise ShardExecutionError(
+            shard_index,
+            f"worker process died (exit code {process.exitcode}); {lost_note}",
+        )
+    try:
+        pipe.send(message)
+    except (BrokenPipeError, OSError) as exc:
+        raise ShardExecutionError(
+            shard_index, f"worker pipe closed mid-send ({exc})"
+        ) from exc
+
+
+def await_worker_reply(process, pipe, shard_index: int, expected: str, lost_note: str):
+    """Receive one ``(kind, payload)`` worker reply, detecting death while waiting.
+
+    Polls instead of blocking so a worker that dies without replying turns
+    into :class:`ShardExecutionError` rather than a hang; an ``"error"``
+    reply (worker-side traceback) raises likewise.  Returns the payload.
+    """
+    while not pipe.poll(0.1):
+        if not process.is_alive() and not pipe.poll(0.0):
+            raise ShardExecutionError(
+                shard_index,
+                f"worker process died (exit code {process.exitcode}) "
+                f"before acknowledging; {lost_note}",
+            )
+    try:
+        kind, payload = pipe.recv()
+    except (EOFError, OSError) as exc:
+        raise ShardExecutionError(
+            shard_index, f"worker hung up mid-reply ({exc})"
+        ) from exc
+    if kind == "error":
+        raise ShardExecutionError(shard_index, f"worker failed:\n{payload}")
+    if kind != expected:  # pragma: no cover - defensive
+        raise ShardExecutionError(
+            shard_index, f"worker sent {kind!r}, expected {expected!r}"
+        )
+    return payload
+
+
+def reap_workers(pipes: Sequence, processes: Sequence) -> None:
+    """Stop, join and force-terminate workers; tolerates crashed ones.
+
+    The ``stop`` message is best-effort (a dead worker's pipe raises and is
+    ignored); surviving workers drain their queued work first (pipe FIFO),
+    are joined, and are terminated only as a last resort.  ``None`` entries
+    (empty shards) are skipped.  Safe to call repeatedly.
+    """
+    for pipe in pipes:
+        if pipe is None:
+            continue
+        try:
+            pipe.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass  # worker already gone; join/terminate below still runs
+    for process in processes:
+        if process is None:
+            continue
+        process.join(timeout=5.0)
+        if process.is_alive():  # pragma: no cover - defensive
+            process.terminate()
+            process.join(timeout=1.0)
+    for pipe in pipes:
+        if pipe is None:
+            continue
+        try:
+            pipe.close()
+        except OSError:  # pragma: no cover - defensive
+            pass
+
+
 class ShardExecutor(Protocol):
-    """The contract between the coordinator and an execution backend."""
+    """The contract between the coordinator and an execution backend.
+
+    Backends may additionally provide ``apply_async(shards, work)`` — a
+    non-blocking dispatch used by the coordinator's pipelined ingest path to
+    overlap routing of batch N+1 with the application of batch N.  Executors
+    without it (all in-process backends) are driven through :meth:`apply`;
+    ``sync`` must always drain any in-flight asynchronous work.
+    """
 
     def start(self, shards: Sequence[SketchShard]) -> None:
         """Attach to the shard set before the first batch (may be a no-op)."""
@@ -49,6 +158,45 @@ class ShardExecutor(Protocol):
 
     def close(self) -> None:
         """Release threads/processes; the executor may not be reused after."""
+
+
+#: Canonical string names accepted by :func:`make_executor`.
+EXECUTOR_NAMES = ("sequential", "threads", "processes", "shared")
+
+
+def make_executor(
+    spec: Union[str, ShardExecutor, None],
+    max_workers: Optional[int] = None,
+) -> Optional[ShardExecutor]:
+    """Resolve an executor specification to a backend instance.
+
+    Accepts a canonical name (``"sequential"``, ``"threads"``,
+    ``"processes"``, ``"shared"``), an already-constructed executor (returned
+    unchanged), or ``None`` (returns ``None``; callers fall back to their
+    default).  This is the single resolution point behind the engine
+    builder's ``.executor(...)`` knob and the benchmark CLIs.
+
+    Args:
+        spec: executor name or instance.
+        max_workers: thread-pool width for ``"threads"`` (ignored otherwise).
+    """
+    if spec is None or not isinstance(spec, str):
+        return spec
+    name = spec.lower()
+    if name == "sequential":
+        return SequentialExecutor()
+    if name in ("threads", "thread"):
+        return ThreadPoolExecutor(max_workers=max_workers)
+    if name in ("processes", "process"):
+        return ProcessPoolExecutor()
+    if name == "shared":
+        from repro.distributed.shared_memory import SharedMemoryExecutor
+
+        return SharedMemoryExecutor()
+    raise ValueError(
+        f"unknown executor {spec!r}; expected one of {', '.join(EXECUTOR_NAMES)} "
+        "or a ShardExecutor instance"
+    )
 
 
 class SequentialExecutor:
@@ -249,17 +397,25 @@ class ProcessPoolExecutor:
             self._pipes.append(parent_conn)
         self._started = True
 
+    _LOST_NOTE = "updates since the last sync are lost"
+
+    def _send(self, shard_index: int, message: tuple) -> None:
+        send_to_worker(
+            self._workers[shard_index],
+            self._pipes[shard_index],
+            shard_index,
+            message,
+            self._LOST_NOTE,
+        )
+
     def _expect(self, shard_index: int, expected: str):
-        kind, payload = self._pipes[shard_index].recv()
-        if kind == "error":
-            raise RuntimeError(
-                f"shard worker {shard_index} failed:\n{payload}"
-            )
-        if kind != expected:  # pragma: no cover - defensive
-            raise RuntimeError(
-                f"shard worker {shard_index} sent {kind!r}, expected {expected!r}"
-            )
-        return payload
+        return await_worker_reply(
+            self._workers[shard_index],
+            self._pipes[shard_index],
+            shard_index,
+            expected,
+            self._LOST_NOTE,
+        )
 
     def apply(
         self,
@@ -270,30 +426,22 @@ class ProcessPoolExecutor:
             self.start(shards)
         involved = sorted(work)
         for shard_index in involved:
-            self._pipes[shard_index].send(("apply", list(work[shard_index])))
+            self._send(shard_index, ("apply", list(work[shard_index])))
         for shard_index in involved:
             self._expect(shard_index, "ok")
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         if not self._started:
             return
-        for pipe in self._pipes:
-            pipe.send(("state",))
+        for shard_index in range(len(self._pipes)):
+            self._send(shard_index, ("state",))
         for shard_index, shard in enumerate(shards):
             payload = self._expect(shard_index, "state")
             shard.load_state_from(SketchShard.deserialize(payload))
 
     def close(self) -> None:
-        for pipe in self._pipes:
-            try:
-                pipe.send(("stop",))
-                pipe.close()
-            except (BrokenPipeError, OSError):  # pragma: no cover - defensive
-                pass
-        for process in self._workers:
-            process.join(timeout=5.0)
-            if process.is_alive():  # pragma: no cover - defensive
-                process.terminate()
+        """Stop all workers; safe to call repeatedly, even after a crash."""
+        reap_workers(self._pipes, self._workers)
         self._workers = []
         self._pipes = []
         self._started = False

@@ -75,6 +75,21 @@ class SketchShard:
         """Vectorized point estimates for one pre-routed group of edge keys."""
         return self.sketch_for(group.partition).estimate_batch(group.keys)
 
+    def credit_groups(self, groups: Sequence[PartitionGroup]) -> int:
+        """Account groups whose counter updates are applied out-of-process.
+
+        Mirrors :meth:`apply` for the scalar side of the update only (totals
+        and update counts, via
+        :meth:`~repro.sketches.countmin.CountMinSketch.credit_batch`); the
+        shared-memory executor calls this on dispatch while the worker applies
+        the counters through the shared arena.  Returns elements credited.
+        """
+        credited = 0
+        for group in groups:
+            self.sketch_for(group.partition).credit_batch(group.counts)
+            credited += len(group)
+        return credited
+
     # ------------------------------------------------------------------ #
     # State: checkpoint, revive, merge
     # ------------------------------------------------------------------ #

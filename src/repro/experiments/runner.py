@@ -10,8 +10,8 @@ that figures sharing a sweep (e.g. Figures 4 and 5) only pay for it once.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.api.engine import SketchEngine
 from repro.core.config import GSketchConfig

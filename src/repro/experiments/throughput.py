@@ -10,7 +10,12 @@ claims.  This runner measures edges/second for
   facade (the public ingest surface);
 * ``sharded-N``  — :class:`~repro.distributed.coordinator.ShardedGSketch`
   with N shards (N=1 runs the sequential executor; N>1 the thread pool),
-  built and fed through the same facade,
+  built and fed through the same facade;
+* ``sharded-N-shared`` — the same N shards on the
+  :class:`~repro.distributed.shared_memory.SharedMemoryExecutor`: counter
+  arenas in shared memory, fused apply kernels in per-shard worker
+  processes, pipelined (double-buffered) dispatch.  Timed through
+  ``ingest`` + ``flush`` so in-flight batches are fully drained,
 
 over two generators (R-MAT and Zipf), verifies that every mode returns
 identical estimates on a sample of query edges, and writes the results to
@@ -31,8 +36,6 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
-import numpy as np
-
 from repro.api.engine import SketchEngine
 from repro.core.config import GSketchConfig
 from repro.core.gsketch import GSketch
@@ -42,6 +45,7 @@ from repro.distributed import (
     InstrumentedExecutor,
     SequentialExecutor,
     ThreadPoolExecutor,
+    make_executor,
 )
 from repro.graph.sampling import reservoir_sample
 
@@ -55,11 +59,16 @@ DEFAULT_OUTPUT = "BENCH_throughput.json"
 class ThroughputResult:
     """One (dataset, mode) measurement.
 
-    ``breakdown`` (sharded modes only) decomposes the ingest wall time:
-    ``coordinator_seconds`` is the serial hash/route/group work on the
-    coordinator thread, ``apply_wall_seconds`` the time spent dispatching to
-    and waiting on shard workers, and ``shard_busy_seconds`` the per-shard
-    time actually applying counter updates.
+    ``breakdown`` (sharded modes only) decomposes the ingest wall time.  For
+    in-process executors: ``coordinator_seconds`` is the serial
+    hash/route/group work on the coordinator thread, ``apply_wall_seconds``
+    the time spent dispatching to and waiting on shard workers, and
+    ``shard_busy_seconds`` the per-shard time actually applying counter
+    updates.  For the shared-memory executor (``pipelined: true``):
+    ``dispatch_seconds`` is column assembly + pipe sends,
+    ``stall_seconds`` the time the coordinator blocked on worker
+    acknowledgements (backpressure + final drain), and
+    ``coordinator_seconds`` the remaining serial route/group work.
     """
 
     dataset: str
@@ -77,6 +86,23 @@ def _time_mode(ingest: Callable[[], object]) -> float:
     return time.perf_counter() - start
 
 
+def _best_of(repeats: int, measure: Callable[[], "tuple[float, object]"]):
+    """Run ``measure`` ``repeats`` times; keep the fastest run's result.
+
+    ``measure`` builds a fresh engine, times one full ingest, and returns
+    ``(seconds, payload)`` — the payload (breakdown, reference estimates)
+    of the minimum-time run is what gets reported, so timing and diagnostics
+    always describe the same run.
+    """
+    best_seconds = float("inf")
+    best_payload: object = None
+    for _ in range(repeats):
+        seconds, payload = measure()
+        if seconds < best_seconds:
+            best_seconds, best_payload = seconds, payload
+    return best_seconds, best_payload
+
+
 def run_throughput(
     num_edges: int = DEFAULT_EDGES,
     shard_counts: Sequence[int] = DEFAULT_SHARD_COUNTS,
@@ -86,8 +112,17 @@ def run_throughput(
     sample_size: int = 5_000,
     seed: int = 7,
     parity_queries: int = 200,
+    repeats: int = 1,
 ) -> Dict[str, object]:
-    """Run every mode on every generator; returns the report dictionary."""
+    """Run every mode on every generator; returns the report dictionary.
+
+    With ``repeats > 1`` every mode is measured that many times on a fresh
+    engine and the **minimum** wall time is reported — the least-noise
+    estimator of achievable throughput on a contended machine.  Parity is
+    verified on every repeat regardless.
+    """
+    if repeats < 1:
+        raise ValueError(f"repeats must be >= 1, got {repeats}")
     config = GSketchConfig(total_cells=total_cells, depth=depth, seed=seed)
     streams = {
         "rmat": rmat_stream(num_edges, seed=seed),
@@ -106,48 +141,56 @@ def run_throughput(
         def fresh() -> GSketch:
             return GSketch.build(sample, config, stream_size_hint=len(stream))
 
-        # --- per-edge reference -------------------------------------- #
-        per_edge = fresh()
-        seconds = _time_mode(
-            lambda: [per_edge.update(e.source, e.target, e.frequency) for e in stream]
-        )
-        per_edge_seconds = seconds
-        reference_estimates = per_edge.query_edges(query_edges)
-        results.append(
-            ThroughputResult(
-                dataset=name,
-                mode="per-edge",
-                edges=len(stream),
-                seconds=seconds,
-                edges_per_second=len(stream) / seconds,
+        def check_parity(engine: SketchEngine) -> None:
+            nonlocal parity_ok
+            parity_ok &= (
+                engine.estimator.query_edges(query_edges) == reference_estimates
             )
-        )
+
+        def report(mode: str, seconds: float, breakdown=None, baseline=None) -> None:
+            results.append(
+                ThroughputResult(
+                    dataset=name,
+                    mode=mode,
+                    edges=len(stream),
+                    seconds=seconds,
+                    edges_per_second=len(stream) / seconds,
+                    speedup_vs_per_edge=None if baseline is None else baseline / seconds,
+                    breakdown=breakdown,
+                )
+            )
+
+        # --- per-edge reference -------------------------------------- #
+        def measure_per_edge():
+            per_edge = fresh()
+            seconds = _time_mode(
+                lambda: [
+                    per_edge.update(e.source, e.target, e.frequency) for e in stream
+                ]
+            )
+            return seconds, per_edge.query_edges(query_edges)
+
+        per_edge_seconds, reference_estimates = _best_of(repeats, measure_per_edge)
+        report("per-edge", per_edge_seconds)
 
         # --- batched (through the facade) ----------------------------- #
-        batched_engine = SketchEngine.from_estimator(fresh())
-        seconds = _time_mode(lambda: batched_engine.ingest(stream, batch_size))
-        parity_ok &= (
-            batched_engine.estimator.query_edges(query_edges) == reference_estimates
-        )
-        results.append(
-            ThroughputResult(
-                dataset=name,
-                mode="batched",
-                edges=len(stream),
-                seconds=seconds,
-                edges_per_second=len(stream) / seconds,
-                speedup_vs_per_edge=per_edge_seconds / seconds,
-            )
-        )
+        def measure_batched():
+            engine = SketchEngine.from_estimator(fresh())
+            seconds = _time_mode(lambda: engine.ingest(stream, batch_size))
+            check_parity(engine)
+            return seconds, None
 
-        # --- sharded -------------------------------------------------- #
-        for num_shards in shard_counts:
+        batched_seconds, _ = _best_of(repeats, measure_batched)
+        report("batched", batched_seconds, baseline=per_edge_seconds)
+
+        # --- sharded (in-process executors) ---------------------------- #
+        def measure_sharded(num_shards: int):
             executor = InstrumentedExecutor(
                 SequentialExecutor()
                 if num_shards == 1
                 else ThreadPoolExecutor(max_workers=num_shards)
             )
-            sharded_engine = (
+            engine = (
                 SketchEngine.builder()
                 .config(config)
                 .sample(sample)
@@ -155,13 +198,9 @@ def run_throughput(
                 .sharded(num_shards, executor=executor)
                 .build()
             )
-            seconds = _time_mode(
-                lambda: sharded_engine.ingest(stream, batch_size=batch_size)
-            )
-            parity_ok &= (
-                sharded_engine.estimator.query_edges(query_edges) == reference_estimates
-            )
-            sharded_engine.close()
+            seconds = _time_mode(lambda: engine.ingest(stream, batch_size=batch_size))
+            check_parity(engine)
+            engine.close()
             busy = dict(sorted(executor.shard_busy_seconds.items()))
             breakdown = {
                 "coordinator_seconds": round(
@@ -173,16 +212,66 @@ def run_throughput(
                 },
                 "batches": executor.batches,
             }
-            results.append(
-                ThroughputResult(
-                    dataset=name,
-                    mode=f"sharded-{num_shards}",
-                    edges=len(stream),
-                    seconds=seconds,
-                    edges_per_second=len(stream) / seconds,
-                    speedup_vs_per_edge=per_edge_seconds / seconds,
-                    breakdown=breakdown,
-                )
+            return seconds, breakdown
+
+        for num_shards in shard_counts:
+            seconds, breakdown = _best_of(
+                repeats, lambda: measure_sharded(num_shards)
+            )
+            report(
+                f"sharded-{num_shards}",
+                seconds,
+                breakdown=breakdown,
+                baseline=per_edge_seconds,
+            )
+
+        # --- sharded, shared-memory pipelined ------------------------- #
+        def measure_shared(num_shards: int):
+            executor = make_executor("shared")
+            engine = (
+                SketchEngine.builder()
+                .config(config)
+                .sample(sample)
+                .stream_size_hint(len(stream))
+                .sharded(num_shards, executor=executor)
+                .build()
+            )
+            # Fork workers + allocate arenas before timing: startup is a
+            # per-engine constant, not part of steady-state throughput.
+            engine.estimator.start()
+
+            def ingest_and_flush() -> None:
+                engine.ingest(stream, batch_size=batch_size)
+                # Drain the pipeline: batches may still be applying.
+                engine.estimator.flush()
+
+            seconds = _time_mode(ingest_and_flush)
+            check_parity(engine)
+            engine.close()
+            breakdown = {
+                "coordinator_seconds": round(
+                    max(
+                        0.0,
+                        seconds - executor.dispatch_seconds - executor.stall_seconds,
+                    ),
+                    6,
+                ),
+                "dispatch_seconds": round(executor.dispatch_seconds, 6),
+                "stall_seconds": round(executor.stall_seconds, 6),
+                "batches": executor.batches,
+                "pipelined": True,
+            }
+            return seconds, breakdown
+
+        for num_shards in shard_counts:
+            seconds, breakdown = _best_of(
+                repeats, lambda: measure_shared(num_shards)
+            )
+            report(
+                f"sharded-{num_shards}-shared",
+                seconds,
+                breakdown=breakdown,
+                baseline=per_edge_seconds,
             )
 
     return {
@@ -196,7 +285,10 @@ def run_throughput(
             "sample_size": sample_size,
             "seed": seed,
             "shard_counts": list(shard_counts),
+            "repeats": repeats,
+            "timing": "minimum wall time over repeats (fresh engine per repeat)",
             "columnarization": "warmed before timing (shared by all batched modes)",
+            "shared_modes": "workers pre-started; timed ingest includes pipeline flush",
         },
         "parity_ok": bool(parity_ok),
         "results": [asdict(r) for r in results],
@@ -225,15 +317,24 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help=f"report path (default {DEFAULT_OUTPUT})",
     )
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=None,
+        help="measurements per mode, best (minimum) wall time reported "
+        "(default: 3 full, 2 quick)",
+    )
     args = parser.parse_args(argv)
 
     num_edges = QUICK_EDGES if args.quick else args.edges
     shard_counts = (1, 2) if args.quick else DEFAULT_SHARD_COUNTS
+    repeats = args.repeats if args.repeats is not None else (2 if args.quick else 3)
     report = run_throughput(
         num_edges=num_edges,
         shard_counts=shard_counts,
         batch_size=args.batch_size,
         seed=args.seed,
+        repeats=repeats,
     )
 
     with open(args.output, "w", encoding="utf-8") as handle:
@@ -242,13 +343,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(f"wrote {args.output}")
     print(f"parity_ok: {report['parity_ok']}")
-    header = f"{'dataset':<8} {'mode':<12} {'edges/s':>12} {'speedup':>9}"
+    header = f"{'dataset':<8} {'mode':<18} {'edges/s':>12} {'speedup':>9}"
     print(header)
     print("-" * len(header))
     for row in report["results"]:
         speedup = row["speedup_vs_per_edge"]
         print(
-            f"{row['dataset']:<8} {row['mode']:<12} "
+            f"{row['dataset']:<8} {row['mode']:<18} "
             f"{row['edges_per_second']:>12,.0f} "
             f"{('%.2fx' % speedup) if speedup else '—':>9}"
         )

@@ -7,7 +7,7 @@ combining the results with Γ (Sections 3.1 and 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Hashable, Sequence, Set, Tuple
 
 from repro.graph.edge import EdgeKey

@@ -14,7 +14,7 @@ Section 6 generates:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, List, Sequence, Set, Tuple
+from typing import Dict, Hashable, List, Set
 
 from repro.graph.edge import EdgeKey
 from repro.graph.sampling import uniform_edge_sample, zipf_edge_sample

@@ -113,11 +113,21 @@ class CountMinSketch(FrequencySketch):
         return self._width * self._depth
 
     @property
+    def conservative(self) -> bool:
+        """Whether updates use the conservative (min-raising) rule."""
+        return self._conservative
+
+    @property
     def table(self) -> np.ndarray:
         """A read-only view of the counter table (used by tests)."""
         view = self._table.view()
         view.setflags(write=False)
         return view
+
+    def hash_coefficients(self) -> "tuple[tuple[int, int], ...]":
+        """The per-row ``(a, b)`` hash coefficients (shared-arena workers
+        reconstruct hashing from these without shipping sketch state)."""
+        return tuple(self._hashes.coefficients())
 
     # ------------------------------------------------------------------ #
     # Updates
@@ -174,6 +184,30 @@ class CountMinSketch(FrequencySketch):
             np.add.at(self._table[row], cols[row], counts_arr)
         self._total += float(counts_arr.sum())
         self._update_count += int(keys_arr.size)
+
+    def credit_batch(self, counts: Sequence[float] | np.ndarray) -> None:
+        """Account a batch of updates whose *counters* were applied elsewhere.
+
+        The shared-memory shard executor applies counter updates inside a
+        worker process that writes the table through a shared view; the
+        coordinator-resident sketch still owns the scalar bookkeeping
+        (``total_count``, ``update_count``).  This method performs exactly the
+        scalar side effects :meth:`update_batch` would have — including the
+        per-element accumulation order of the conservative path — so the
+        split update remains bit-identical to an in-process one.
+        """
+        counts_arr = np.asarray(counts, dtype=np.float64)
+        if counts_arr.size == 0:
+            return
+        if np.any(counts_arr < 0):
+            raise ValueError("counts must be non-negative")
+        if self._conservative:
+            for count in counts_arr.tolist():
+                self._total += count
+                self._update_count += 1
+        else:
+            self._total += float(counts_arr.sum())
+            self._update_count += int(counts_arr.size)
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -294,6 +328,33 @@ class CountMinSketch(FrequencySketch):
         sketch._total = float(state["total"])
         sketch._update_count = int(state["update_count"])
         return sketch
+
+    def attach_table(self, view: np.ndarray) -> None:
+        """Move the counter table into an externally-allocated buffer view.
+
+        The current counters are copied into ``view`` and the sketch adopts it
+        as its live table.  The shared-memory executor uses this to point the
+        coordinator-resident sketch at a slice of a shard's shared-memory
+        arena, so worker-process updates are visible here without any
+        serialize → pull cycle.  The caller owns the buffer's lifetime and
+        must call :meth:`detach_table` before releasing it.
+        """
+        if view.shape != self._table.shape or view.dtype != np.float64:
+            raise ValueError(
+                f"table view must have shape {self._table.shape} and dtype float64, "
+                f"got {view.shape} {view.dtype}"
+            )
+        view[...] = self._table
+        self._table = view
+
+    def detach_table(self) -> None:
+        """Re-privatize the counter table (copy it out of any shared buffer).
+
+        Safe to call on an already-private table; afterwards the sketch holds
+        no reference to externally-allocated memory, so the buffer can be
+        unmapped (shared-memory teardown) without invalidating this sketch.
+        """
+        self._table = np.array(self._table, dtype=np.float64, order="C", copy=True)
 
     def compatible_empty(self) -> "CountMinSketch":
         """Return an empty sketch sharing this sketch's dimensions and hash family."""

@@ -64,15 +64,23 @@ def pair_keys_to_uint64(sources: np.ndarray, targets: np.ndarray) -> np.ndarray:
     return splitmix64_batch(acc ^ ht)
 
 
-def _mulmod_mersenne61(a: int, values: np.ndarray) -> np.ndarray:
-    """``(a * values) mod (2^61 - 1)`` for a scalar ``a < 2^61`` over uint64 values.
+def mulmod_mersenne61_batch(a: np.ndarray, values: np.ndarray) -> np.ndarray:
+    """``(a * values) mod (2^61 - 1)``, elementwise, for ``a < 2^61`` coefficients.
+
+    ``a`` may be a scalar (one hash coefficient applied to every value — the
+    :meth:`PairwiseHashFamily.indices_batch` case) or an array aligned with
+    ``values`` (a *different* coefficient per element — the shared-memory
+    shard executor's fused kernel, which hashes one batch spanning many
+    partition sketches in a single pass).  Both shapes run the identical
+    sequence of uint64 numpy kernels, so results are bit-identical to the
+    scalar path per element.
 
     The 128-bit product is assembled from 32-bit limbs (every partial product
     fits in a uint64 because ``a < 2^61`` implies ``a_hi < 2^29``), then folded
     modulo the Mersenne prime using ``2^64 ≡ 8`` and ``2^61 ≡ 1``.
     """
-    a_lo = _U64(a & 0xFFFFFFFF)
-    a_hi = _U64(a >> 32)
+    a_lo = a & _MASK32
+    a_hi = a >> _U64(32)
     x_lo = values & _MASK32
     x_hi = values >> _U64(32)
 
@@ -91,6 +99,32 @@ def _mulmod_mersenne61(a: int, values: np.ndarray) -> np.ndarray:
     r = (r & _M61) + (r >> _U64(61))
     r = (r & _M61) + (r >> _U64(61))
     return np.where(r >= _M61, r - _M61, r)
+
+
+def _mulmod_mersenne61(a: int, values: np.ndarray) -> np.ndarray:
+    """Scalar-coefficient convenience wrapper over :func:`mulmod_mersenne61_batch`."""
+    return mulmod_mersenne61_batch(_U64(a), values)
+
+
+def gathered_hash_columns(
+    a: np.ndarray, b: np.ndarray, widths: np.ndarray, keys: np.ndarray
+) -> np.ndarray:
+    """Hash ``keys`` with per-element ``(a, b, width)`` coefficient columns.
+
+    One vectorized pass computes ``((a*key + b) mod p) mod width`` for a batch
+    in which *each element may belong to a different hash function* — the
+    coefficients having been gathered (fancy-indexed) from per-sketch tables.
+    Bit-identical per element to
+    :meth:`PairwiseHashFamily.indices_batch` with that element's own family:
+    the arithmetic is the same uint64 kernel sequence, merely batched across
+    families.  This is what lets the shared-memory shard worker apply a whole
+    batch spanning many partition sketches in ~one kernel pass per row
+    instead of one :meth:`indices_batch` call per partition group.
+    """
+    mixed = mulmod_mersenne61_batch(a, keys)
+    mixed = mixed + b
+    mixed = np.where(mixed >= _M61, mixed - _M61, mixed)
+    return (mixed % widths).astype(np.int64)
 
 
 def key_to_uint64(key: Hashable) -> int:

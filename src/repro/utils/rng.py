@@ -8,7 +8,7 @@ seed selection) accept either an integer seed, an existing
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

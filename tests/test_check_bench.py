@@ -1,0 +1,192 @@
+"""Unit tests for the benchmark regression gate (experiments/check_bench.py)."""
+
+from __future__ import annotations
+
+import importlib.util
+import json
+import pathlib
+import sys
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench",
+    pathlib.Path(__file__).resolve().parents[1] / "experiments" / "check_bench.py",
+)
+check_bench = importlib.util.module_from_spec(_SPEC)
+sys.modules["check_bench"] = check_bench
+_SPEC.loader.exec_module(check_bench)
+
+
+def _throughput_report(rates: dict, parity: bool = True) -> dict:
+    return {
+        "parity_ok": parity,
+        "results": [
+            {"dataset": dataset, "mode": mode, "edges_per_second": value}
+            for (dataset, mode), value in rates.items()
+        ],
+    }
+
+
+BASELINES = {
+    "tolerance": 0.1,
+    "profiles": {
+        "quick": {
+            "throughput": {
+                "require_parity": True,
+                "floors": [
+                    {
+                        "dataset": "rmat",
+                        "numerator": "batched",
+                        "denominator": "per-edge",
+                        "min_ratio": 5.0,
+                    }
+                ],
+            },
+            "build": {"require_equivalence": True, "min_speedup": 4.0},
+        }
+    },
+}
+
+
+@pytest.fixture
+def reports(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    baselines = write("baselines.json", BASELINES)
+    good_throughput = write(
+        "tp_good.json",
+        _throughput_report({("rmat", "per-edge"): 100.0, ("rmat", "batched"): 800.0}),
+    )
+    good_build = write(
+        "build_good.json",
+        {"trees_identical": True, "results": [{"speedup": 12.0}, {"speedup": 9.0}]},
+    )
+    return tmp_path, baselines, good_throughput, good_build, write
+
+
+def test_gate_passes_on_healthy_reports(reports, capsys):
+    _, baselines, throughput, build, _ = reports
+    code = check_bench.main(
+        [
+            "--profile",
+            "quick",
+            "--throughput",
+            throughput,
+            "--build",
+            build,
+            "--baselines",
+            baselines,
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "all 4 checks hold" in out
+
+
+def test_gate_fails_on_ratio_regression(reports):
+    _, baselines, _, build, write = reports
+    slow = write(
+        "tp_slow.json",
+        _throughput_report({("rmat", "per-edge"): 100.0, ("rmat", "batched"): 300.0}),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--throughput", slow, "--build", build,
+         "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_gate_fails_on_parity_break(reports):
+    _, baselines, _, build, write = reports
+    broken = write(
+        "tp_parity.json",
+        _throughput_report(
+            {("rmat", "per-edge"): 100.0, ("rmat", "batched"): 900.0}, parity=False
+        ),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--throughput", broken, "--build", build,
+         "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_gate_fails_on_missing_mode(reports):
+    _, baselines, _, build, write = reports
+    missing = write(
+        "tp_missing.json", _throughput_report({("rmat", "per-edge"): 100.0})
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--throughput", missing, "--build", build,
+         "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_gate_fails_on_build_regression(reports):
+    _, baselines, throughput, _, write = reports
+    slow_build = write(
+        "build_slow.json",
+        {"trees_identical": True, "results": [{"speedup": 1.5}]},
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--throughput", throughput, "--build", slow_build,
+         "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_tolerance_override_relaxes_floor(reports):
+    _, baselines, _, build, write = reports
+    borderline = write(
+        "tp_borderline.json",
+        _throughput_report({("rmat", "per-edge"): 100.0, ("rmat", "batched"): 420.0}),
+    )
+    strict = check_bench.main(
+        ["--profile", "quick", "--throughput", borderline, "--build", build,
+         "--baselines", baselines, "--tolerance", "0.0"]
+    )
+    relaxed = check_bench.main(
+        ["--profile", "quick", "--throughput", borderline, "--build", build,
+         "--baselines", baselines, "--tolerance", "0.2"]
+    )
+    assert strict == 1
+    assert relaxed == 0
+
+
+def test_markdown_summary_written(reports, monkeypatch):
+    tmp_path, baselines, throughput, build, _ = reports
+    summary = tmp_path / "summary.md"
+    monkeypatch.setenv("GITHUB_STEP_SUMMARY", str(summary))
+    code = check_bench.main(
+        ["--profile", "quick", "--throughput", throughput, "--build", build,
+         "--baselines", baselines]
+    )
+    assert code == 0
+    text = summary.read_text()
+    assert "| check | measured | required | status |" in text
+    assert "batched / per-edge" in text
+    assert "✅" in text
+
+
+def test_committed_baselines_parse_and_cover_both_profiles():
+    """The checked-in floor file stays loadable and structurally sound."""
+    path = pathlib.Path(__file__).resolve().parents[1] / "experiments" / "bench_baselines.json"
+    data = json.loads(path.read_text())
+    assert 0.0 <= data["tolerance"] < 1.0
+    for profile in ("quick", "full"):
+        rules = data["profiles"][profile]
+        assert rules["throughput"]["require_parity"] is True
+        for floor in rules["throughput"]["floors"]:
+            assert floor["min_ratio"] > 0
+    # The tentpole acceptance bar: full profile enforces shared-memory
+    # sharded-4 >= 1.5x single-threaded batched on the R-MAT stream.
+    full_floors = {
+        (f["dataset"], f["numerator"], f["denominator"]): f["min_ratio"]
+        for f in data["profiles"]["full"]["throughput"]["floors"]
+    }
+    assert full_floors[("rmat", "sharded-4-shared", "batched")] >= 1.5

@@ -25,11 +25,21 @@ def test_run_throughput_reports_all_modes():
         assert (dataset, "batched") in modes
         assert (dataset, "sharded-1") in modes
         assert (dataset, "sharded-2") in modes
+        assert (dataset, "sharded-1-shared") in modes
+        assert (dataset, "sharded-2-shared") in modes
     for row in report["results"]:
         assert row["edges_per_second"] > 0
         if row["mode"] != "per-edge":
             assert row["speedup_vs_per_edge"] > 0
-        if row["mode"].startswith("sharded-"):
+        if row["mode"].endswith("-shared"):
+            # Pipelined shared-memory breakdown: dispatch vs stall vs serial.
+            breakdown = row["breakdown"]
+            assert breakdown["pipelined"] is True
+            assert breakdown["batches"] > 0
+            assert breakdown["dispatch_seconds"] >= 0
+            assert breakdown["stall_seconds"] >= 0
+            assert breakdown["coordinator_seconds"] >= 0
+        elif row["mode"].startswith("sharded-"):
             # Per-shard timing breakdown (the executor-choice diagnostic).
             breakdown = row["breakdown"]
             num_shards = int(row["mode"].split("-")[1])
