@@ -1,23 +1,27 @@
 #!/usr/bin/env python
 """Benchmark regression gate: compare bench reports against committed floors.
 
-CI records throughput and partition-build benchmark artifacts on every run;
-this script turns them from *recorded* numbers into *enforced* ones.  It
-reads the two reports, evaluates them against the ratio floors committed in
-``experiments/bench_baselines.json``, prints a comparison table, appends the
-same table as markdown to ``$GITHUB_STEP_SUMMARY`` when that variable is set
-(the GitHub Actions job summary), and exits non-zero on any regression.
+CI records ingestion-throughput, partition-build and query-throughput
+benchmark artifacts on every run; this script turns them from *recorded*
+numbers into *enforced* ones.  It reads the reports, evaluates them against
+the ratio floors committed in ``experiments/bench_baselines.json``, prints a
+comparison table, appends the same table as markdown to
+``$GITHUB_STEP_SUMMARY`` when that variable is set (the GitHub Actions job
+summary), and exits non-zero on any regression.
 
 Floors are *ratios between modes of the same run* (batched vs per-edge,
-shared-memory sharded vs batched, columnar vs scalar build), so they are
-portable across machine speeds; the ``quick`` profile carries loose sanity
-floors suitable for PR smoke sizes, the ``full`` profile carries the real
-performance bars enforced nightly and locally::
+shared-memory sharded vs batched, columnar vs scalar build, compiled query
+plan vs the pre-plan routed path), so they are portable across machine
+speeds; the ``quick`` profile carries loose sanity floors suitable for PR
+smoke sizes, the ``full`` profile carries the real performance bars enforced
+nightly and locally::
 
     python experiments/check_bench.py --profile quick \
-        --throughput BENCH_throughput_ci.json --build BENCH_build_ci.json
+        --throughput BENCH_throughput_ci.json --build BENCH_build_ci.json \
+        --query BENCH_query_ci.json
     python experiments/check_bench.py --profile full \
-        --throughput BENCH_throughput.json --build BENCH_build.json
+        --throughput BENCH_throughput.json --build BENCH_build.json \
+        --query BENCH_query.json
 
 A floor passes when ``measured >= min_ratio * (1 - tolerance)``; the
 tolerance (from the baselines file, overridable with ``--tolerance``)
@@ -164,6 +168,60 @@ def check_build(report: dict, rules: dict, tolerance: float) -> List[CheckResult
     return checks
 
 
+def check_query(report: dict, rules: dict, tolerance: float) -> List[CheckResult]:
+    """Evaluate parity and plan-speedup floors on a query-throughput report.
+
+    Each floor names a ``(backend, batch_size)`` row and requires
+    ``plan_qps / direct_qps >= min_ratio * (1 - tolerance)``; parity (the
+    compiled plan answering bit-identically to the routed path, every
+    backend) carries no tolerance.
+    """
+    checks: List[CheckResult] = []
+    rows = {
+        (row["backend"], int(row["batch_size"])): row
+        for row in report.get("results", [])
+    }
+    if rules.get("require_parity", True):
+        parity = bool(report.get("parity_ok", False)) and all(
+            bool(row.get("parity_ok", False)) for row in report.get("results", [])
+        )
+        checks.append(
+            CheckResult(
+                name="query: plan vs direct bit-exact parity (all backends)",
+                measured=str(parity),
+                required="True",
+                ok=parity,
+            )
+        )
+    for floor in rules.get("floors", []):
+        backend = floor["backend"]
+        batch_size = int(floor["batch_size"])
+        min_ratio = float(floor["min_ratio"])
+        effective = min_ratio * (1.0 - tolerance)
+        name = f"query[{backend} @ batch {batch_size}]: plan / direct"
+        row = rows.get((backend, batch_size))
+        if row is None or float(row.get("direct_qps", 0.0)) <= 0:
+            checks.append(
+                CheckResult(
+                    name=name,
+                    measured="row missing from report",
+                    required=f">= {effective:.2f}x",
+                    ok=False,
+                )
+            )
+            continue
+        ratio = float(row["plan_qps"]) / float(row["direct_qps"])
+        checks.append(
+            CheckResult(
+                name=name,
+                measured=f"{ratio:.2f}x",
+                required=f">= {effective:.2f}x ({min_ratio:.2f} - {tolerance:.0%})",
+                ok=ratio >= effective,
+            )
+        )
+    return checks
+
+
 def render_markdown(checks: Sequence[CheckResult], profile: str) -> str:
     """The comparison table as GitHub-flavoured markdown."""
     failed = sum(not check.ok for check in checks)
@@ -212,6 +270,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="partition-build report to check (default BENCH_build_ci.json)",
     )
     parser.add_argument(
+        "--query",
+        default="BENCH_query_ci.json",
+        help="query-throughput report to check (default BENCH_query_ci.json)",
+    )
+    parser.add_argument(
         "--baselines",
         default=os.path.join(os.path.dirname(__file__), "bench_baselines.json"),
         help="committed floor definitions (default experiments/bench_baselines.json)",
@@ -243,6 +306,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "build" in profile:
         report = _load_json(args.build, "build")
         checks.extend(check_build(report, profile["build"], tolerance))
+    if "query" in profile:
+        report = _load_json(args.query, "query")
+        checks.extend(check_query(report, profile["query"], tolerance))
     if not checks:
         raise SystemExit("check_bench: profile defines no checks")
 

@@ -48,12 +48,14 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import StreamEdge
 from repro.graph.stream import GraphStream
 from repro.queries.edge_query import EdgeQuery
+from repro.queries.plan import CompiledQueryPlan
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
 
 __version__ = "1.0.0"
 
 __all__ = [
+    "CompiledQueryPlan",
     "CountMinSketch",
     "EdgeBatch",
     "EdgeQuery",

@@ -8,6 +8,7 @@ library exposes, so the CLI doubles as a smoke test of the public surface::
     python -m repro query  --snapshot sketch.snap --sample 5 --dataset rmat --edges 20000
     python -m repro query  --snapshot sketch.snap --edge 3 17
     python -m repro bench  --dataset rmat --edges 20000 --cells 60000
+    python -m repro query-bench --dataset rmat --edges 20000 --batch-sizes 1 8 64
 
 Datasets are either registry names (``dblp-tiny``, ``gtgraph-small``, ... —
 see :func:`repro.datasets.registry.available_datasets`) or the synthetic
@@ -21,6 +22,7 @@ import argparse
 import json
 import sys
 import time
+from dataclasses import asdict
 from typing import Hashable, List, Optional, Sequence
 
 from repro.api.engine import DEFAULT_SAMPLE_SIZE, EngineError, SketchEngine
@@ -201,6 +203,61 @@ def cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_query_bench(args: argparse.Namespace) -> int:
+    """Query-throughput mode: pre-plan routed path vs the compiled plan.
+
+    Builds one backend through the facade, ingests the dataset, freezes the
+    read plan (:meth:`~repro.api.engine.SketchEngine.frozen`) and reports
+    queries/second for both serving paths at each requested batch size —
+    the CLI twin of ``experiments/query_bench.py``.
+    """
+    from repro.experiments.query_bench import (
+        build_query_workload,
+        measure_query_paths,
+    )
+
+    if args.baseline and (args.sharded is not None or args.windowed is not None):
+        raise EngineError(
+            "--baseline benches the unpartitioned Global Sketch and cannot be "
+            "combined with --sharded or --windowed"
+        )
+    stream = resolve_stream(args)
+    config = GSketchConfig(total_cells=args.cells, depth=args.depth, seed=args.seed)
+    builder = SketchEngine.builder().config(config)
+    if not args.baseline:
+        builder = builder.dataset(stream)
+    if args.sharded is not None:
+        builder = builder.sharded(args.sharded)
+    if args.windowed is not None:
+        builder = builder.windowed(args.windowed)
+    engine = builder.build()
+    try:
+        engine.ingest(stream, batch_size=args.batch_size)
+        engine.frozen()
+        keys = build_query_workload(stream, args.queries, seed=args.seed + 2)
+        rows = measure_query_paths(
+            engine.estimator,
+            engine.backend,
+            keys,
+            args.batch_sizes,
+            rounds=args.rounds,
+            repeats=args.repeats,
+        )
+    finally:
+        engine.close()
+    _emit(
+        {
+            "benchmark": "query-throughput",
+            "backend": engine.backend,
+            "dataset": stream.name,
+            "queries": len(keys),
+            "parity_ok": all(row.parity_ok for row in rows),
+            "results": [asdict(row) for row in rows],
+        }
+    )
+    return 0 if all(row.parity_ok for row in rows) else 1
+
+
 # ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
@@ -275,6 +332,38 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--batch-size", type=int, default=8192)
     bench.add_argument("--queries", type=int, default=500)
     bench.set_defaults(func=cmd_bench)
+
+    query_bench = commands.add_parser(
+        "query-bench",
+        help="query throughput: pre-plan routed path vs the compiled plan",
+    )
+    _add_dataset_arguments(query_bench)
+    query_bench.add_argument("--cells", type=int, default=DEFAULT_CELLS)
+    query_bench.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    query_bench.add_argument("--sharded", type=int, default=None, metavar="N")
+    query_bench.add_argument(
+        "--windowed", type=float, default=None, metavar="LENGTH"
+    )
+    query_bench.add_argument(
+        "--baseline",
+        action="store_true",
+        help="Global Sketch baseline (no partitioning)",
+    )
+    query_bench.add_argument("--batch-size", type=int, default=8192)
+    query_bench.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="+",
+        default=[1, 8, 64],
+        metavar="M",
+        help="query batch sizes to measure (default: 1 8 64)",
+    )
+    query_bench.add_argument(
+        "--queries", type=int, default=512, help="workload size per timed pass"
+    )
+    query_bench.add_argument("--rounds", type=int, default=2)
+    query_bench.add_argument("--repeats", type=int, default=2)
+    query_bench.set_defaults(func=cmd_query_bench)
 
     return parser
 

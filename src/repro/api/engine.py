@@ -203,6 +203,26 @@ class SketchEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Read optimization
+    # ------------------------------------------------------------------ #
+    def frozen(self) -> "SketchEngine":
+        """Pre-compile the backend's read plan so the next query hits the arena.
+
+        Every backend auto-plans — the first query after an ingest compiles
+        (or refreshes) its :class:`~repro.queries.plan.CompiledQueryPlan`
+        lazily — so this is purely a warm-up: call it after bulk ingestion
+        and before latency-sensitive serving to keep plan compilation out of
+        the first request.  Returns ``self`` for chaining::
+
+            engine.ingest(stream)
+            estimates = engine.frozen().query_many(queries)
+        """
+        compile_plan = getattr(self._estimator, "compile_plan", None)
+        if compile_plan is not None:
+            compile_plan()
+        return self
+
+    # ------------------------------------------------------------------ #
     # Snapshot / restore
     # ------------------------------------------------------------------ #
     def save(self, path: Union[str, Path]) -> Path:

@@ -11,6 +11,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import List
+
+import numpy as np
 
 from repro.sketches.countmin import CountMinSketch
 
@@ -49,3 +52,22 @@ def countmin_confidence(sketch: CountMinSketch, estimate: float) -> ConfidenceIn
         additive_bound=math.e * sketch.total_count / sketch.width,
         failure_probability=math.exp(-sketch.depth),
     )
+
+
+def intervals_from_arrays(
+    estimates: np.ndarray, bounds: np.ndarray, failures: np.ndarray
+) -> List[ConfidenceInterval]:
+    """Materialize typed intervals from parallel estimate/bound/failure columns.
+
+    The compiled query plan answers confidence batches as three aligned
+    arrays (one routing pass, constants gathered by partition slot); this is
+    the single place they become :class:`ConfidenceInterval` objects.
+    """
+    return [
+        ConfidenceInterval(
+            estimate=float(estimate),
+            additive_bound=float(bound),
+            failure_probability=float(failure),
+        )
+        for estimate, bound, failure in zip(estimates, bounds, failures)
+    ]

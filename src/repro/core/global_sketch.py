@@ -12,17 +12,25 @@ from __future__ import annotations
 from typing import Hashable, Iterable, List, Sequence
 
 from repro.core.config import GSketchConfig
-from repro.core.estimator import ConfidenceInterval, countmin_confidence
+from repro.core.estimator import (
+    ConfidenceInterval,
+    countmin_confidence,
+    intervals_from_arrays,
+)
 from repro.core.gsketch import DEFAULT_BATCH_SIZE, iter_edge_batches
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.stream import GraphStream
+from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
 
 
-class GlobalSketch:
+class GlobalSketch(PlanServingMixin):
     """A single global Count-Min sketch over the whole edge universe.
+
+    Point queries ride the compiled-plan read path (a one-slot arena plus the
+    hot-edge cache); the pre-plan path stays as :meth:`query_edges_direct`.
 
     Args:
         config: space budget.  The baseline uses the *entire* budget
@@ -38,6 +46,7 @@ class GlobalSketch:
             seed=config.seed,
             conservative=config.conservative_updates,
         )
+        self._init_query_plane()
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -45,6 +54,7 @@ class GlobalSketch:
     def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
         """Record one stream element for the edge ``(source, target)``."""
         self._sketch.update(edge_key(source, target), frequency)
+        self._bump_generation()
 
     def update_edge(self, edge: StreamEdge) -> None:
         """Record one :class:`~repro.graph.edge.StreamEdge`."""
@@ -64,6 +74,7 @@ class GlobalSketch:
         if len(batch) == 0:
             return 0
         self._sketch.update_batch(batch.hashed_keys(), batch.frequencies)
+        self._bump_generation()
         return len(batch)
 
     def process(
@@ -85,16 +96,25 @@ class GlobalSketch:
     # Queries
     # ------------------------------------------------------------------ #
     def query_edge(self, edge: EdgeKey) -> float:
-        """Estimate the aggregate frequency of a directed edge."""
-        return self._sketch.estimate(tuple(edge))
+        """Estimate the aggregate frequency of a directed edge.
+
+        Served through the compiled plan and hot-edge cache; bit-identical to
+        a direct :meth:`~repro.sketches.countmin.CountMinSketch.estimate`.
+        """
+        return float(self._planned_estimates([edge])[0])
 
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
-        """Estimate many edges at once (one vectorized ``estimate_batch``).
+        """Estimate many edges at once through the compiled query plan.
 
-        Element-wise identical to calling :meth:`query_edge` per edge: the
-        keys go through the same canonicalization pipeline, just as array
-        kernels instead of per-edge Python hashing.
+        Element-wise identical to calling :meth:`query_edge` per edge and to
+        :meth:`query_edges_direct`: the keys go through the same
+        canonicalization and hashing kernels, read from the plan arena.
         """
+        return self._planned_estimates(edges).tolist()
+
+    def query_edges_direct(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """The pre-plan path (one ``estimate_batch``); parity oracle and
+        benchmark baseline for the compiled plan."""
         if len(edges) == 0:
             return []
         keys = EdgeBatch.from_edge_keys(edges).hashed_keys()
@@ -111,21 +131,15 @@ class GlobalSketch:
     def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
         """Equation-1 confidence intervals for many edges at once.
 
-        The additive bound and failure probability are global constants for
-        this baseline (one sketch serves every query), so only the estimates
-        are vectorized.  Element-wise identical to :meth:`confidence`.
+        One plan pass: the keys are hashed once, estimated in one gather, and
+        the constant bound/failure pair (one sketch serves every query) is
+        broadcast from the plan's per-slot constants.  Element-wise identical
+        to :meth:`confidence`.
         """
         if len(edges) == 0:
             return []
-        template = countmin_confidence(self._sketch, 0.0)
-        return [
-            ConfidenceInterval(
-                estimate=float(estimate),
-                additive_bound=template.additive_bound,
-                failure_probability=template.failure_probability,
-            )
-            for estimate in self.query_edges(edges)
-        ]
+        estimates, bounds, failures, _ = self._planned_confidence(edges)
+        return intervals_from_arrays(estimates, bounds, failures)
 
     # ------------------------------------------------------------------ #
     # Snapshot protocol
@@ -144,6 +158,10 @@ class GlobalSketch:
     # ------------------------------------------------------------------ #
     # Introspection
     # ------------------------------------------------------------------ #
+    def _plan_layout(self):
+        """One-slot arena (no router); the private table is attached."""
+        return [self._sketch], None, True
+
     @property
     def sketch(self) -> CountMinSketch:
         """The underlying Count-Min sketch."""

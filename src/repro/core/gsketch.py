@@ -23,7 +23,11 @@ import numpy as np
 
 from repro.core.batch_router import BatchRouter
 from repro.core.config import GSketchConfig
-from repro.core.estimator import ConfidenceInterval, countmin_confidence
+from repro.core.estimator import (
+    ConfidenceInterval,
+    countmin_confidence,
+    intervals_from_arrays,
+)
 from repro.core.partition_tree import PartitionLeaf, PartitionTree
 from repro.core.partitioner import build_partition_tree, workload_vertex_weights
 from repro.core.router import OUTLIER_PARTITION, VertexRouter
@@ -31,6 +35,7 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
+from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.queries.workload import QueryWorkload
 from repro.sketches.countmin import CountMinSketch
@@ -159,12 +164,19 @@ class PartitionSummary:
     leaf_reason: str
 
 
-class GSketch:
+class GSketch(PlanServingMixin):
     """The partitioned graph-stream sketch.
 
     Instances are normally created through :meth:`build` (data sample only,
     Figure 2) or :meth:`build_with_workload` (data + workload samples,
     Figure 3) rather than the constructor.
+
+    Point queries are served through a lazily compiled
+    :class:`~repro.queries.plan.CompiledQueryPlan` (one read arena spanning
+    every partition plus the outlier sketch, answers bit-identical to the
+    live per-partition path) with a generation-tagged hot-edge cache in
+    front; the pre-plan routed path stays available as
+    :meth:`query_edges_direct` / :meth:`confidence_batch_direct`.
     """
 
     def __init__(
@@ -188,6 +200,7 @@ class GSketch:
         self._elements_processed = 0
         self._outlier_elements = 0
         self._batch_router = BatchRouter(router)
+        self._init_query_plane()
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -274,6 +287,7 @@ class GSketch:
         sketch = self._sketch_for(partition)
         sketch.update(edge_key(source, target), frequency)
         self._elements_processed += 1
+        self._bump_generation()
         if partition == OUTLIER_PARTITION:
             self._outlier_elements += 1
 
@@ -301,6 +315,7 @@ class GSketch:
             self._sketch_for(group.partition).update_batch(group.keys, group.counts)
         self._elements_processed += routed.num_elements
         self._outlier_elements += routed.outlier_count
+        self._bump_generation()
         return routed.num_elements
 
     def process(
@@ -324,13 +339,24 @@ class GSketch:
     # Queries
     # ------------------------------------------------------------------ #
     def query_edge(self, edge: EdgeKey) -> float:
-        """Estimate the aggregate frequency of a directed edge (Section 5)."""
-        source, _target = edge
-        sketch = self._sketch_for(self.router.partition_of(source))
-        return sketch.estimate(tuple(edge))
+        """Estimate the aggregate frequency of a directed edge (Section 5).
+
+        Served through the compiled plan (and hot-edge cache); bit-identical
+        to the routed scalar lookup.
+        """
+        return float(self._planned_estimates([edge])[0])
 
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
-        """Estimate many edges at once (vectorized per partition)."""
+        """Estimate many edges at once, through the compiled query plan.
+
+        One hash pass, one route, one fused gather across every involved
+        partition — element-wise bit-identical to :meth:`query_edges_direct`.
+        """
+        return self._planned_estimates(edges).tolist()
+
+    def query_edges_direct(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """The pre-plan routed path: group per partition, ``estimate_batch``
+        per group.  Kept as the plan's parity oracle and benchmark baseline."""
         if len(edges) == 0:
             return []
         routed = self._batch_router.route_edges(edges)
@@ -363,8 +389,9 @@ class GSketch:
     def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
         """Equation-1 confidence intervals for many edges at once.
 
-        Element-wise identical to calling :meth:`confidence` per edge; see
-        :func:`routed_confidence_batch`.
+        Element-wise identical to calling :meth:`confidence` per edge; rides
+        the compiled plan with the per-partition bound/failure constants
+        gathered by partition slot.
         """
         return self.confidence_batch_with_partitions(edges)[0]
 
@@ -373,9 +400,19 @@ class GSketch:
     ) -> "tuple[List[ConfidenceInterval], List[int]]":
         """Intervals plus the partition id that answered each edge.
 
-        One routing pass serves both; the facade uses the partition column
-        for provenance without re-routing the keys.
+        One plan pass serves estimates, constants and provenance; the facade
+        uses the partition column without re-routing the keys.  Bit-identical
+        to :meth:`confidence_batch_direct`.
         """
+        if len(edges) == 0:
+            return [], []
+        estimates, bounds, failures, partitions = self._planned_confidence(edges)
+        return intervals_from_arrays(estimates, bounds, failures), partitions.tolist()
+
+    def confidence_batch_direct(
+        self, edges: Sequence[EdgeKey]
+    ) -> "tuple[List[ConfidenceInterval], List[int]]":
+        """The pre-plan routed confidence path (parity oracle)."""
         return routed_confidence_batch(self._batch_router, edges, self._sketch_for)
 
     def is_outlier_query(self, edge: EdgeKey) -> bool:
@@ -434,6 +471,15 @@ class GSketch:
         if partition == OUTLIER_PARTITION:
             return self._outlier
         return self._partitions[partition]
+
+    def _plan_layout(self):
+        """Arena layout: localized sketches in leaf order, outlier last.
+
+        The tables are privately owned, so the plan attaches them as
+        zero-copy arena views — ingestion writes straight into the read
+        arena and a refresh only re-derives the confidence constants.
+        """
+        return [*self._partitions, self._outlier], self.router, True
 
     @property
     def num_partitions(self) -> int:

@@ -27,13 +27,15 @@ from typing import Dict, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import GSketchConfig
-from repro.core.estimator import ConfidenceInterval
+from repro.core.estimator import ConfidenceInterval, intervals_from_arrays
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.stream import GraphStream
+from repro.queries.plan import HOT_CACHE_MAX_BATCH, HotEdgeCache
 from repro.queries.subgraph_query import SubgraphQuery
+from repro.sketches.hashing import key_to_uint64
 from repro.utils.rng import resolve_rng
 from repro.utils.validation import require_positive, require_positive_int
 
@@ -79,6 +81,8 @@ class WindowedGSketch:
         self._previous_sample: Optional[GraphStream] = None
         self._previous_window_size = 0
         self._elements_processed = 0
+        self._generation = 0
+        self._hot_cache = HotEdgeCache()
 
     # ------------------------------------------------------------------ #
     # Maintenance
@@ -103,6 +107,7 @@ class WindowedGSketch:
         state.estimator.update(edge.source, edge.target, edge.frequency)
         self._reservoir_insert(edge)
         self._elements_processed += 1
+        self._generation += 1
 
     def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
         """Ingest one block of (timestamp-ordered) stream elements.
@@ -198,16 +203,42 @@ class WindowedGSketch:
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
         """Lifetime estimates for many edges at once.
 
-        Each opened window answers the whole block through its own vectorized
-        ``query_edges`` path; the per-window estimates are summed, matching
+        Each opened window answers the block through its own compiled query
+        plan — closed windows are immutable, so their arenas never rebuild —
+        and the per-window estimate columns are summed in one reduce per
+        window.  Small batches additionally ride a lifetime-level hot-edge
+        cache tagged by the windowed ingest generation.  Matches
         :meth:`query_edge_lifetime` element-wise.
         """
+        if len(edges) == 0:
+            return []
+        if len(edges) <= HOT_CACHE_MAX_BATCH:
+            keys = [key_to_uint64((edge[0], edge[1])) for edge in edges]
+            cached = self._hot_cache.lookup_many(self._generation, keys)
+            if cached is not None:
+                return cached
+            totals = self._lifetime_estimates(edges)
+            self._hot_cache.store_many(self._generation, keys, totals.tolist())
+            return totals.tolist()
+        return self._lifetime_estimates(edges).tolist()
+
+    def _lifetime_estimates(self, edges: Sequence[EdgeKey]) -> np.ndarray:
+        """Plan-served per-window estimates, summed in window order."""
+        totals = np.zeros(len(edges), dtype=np.float64)
+        for window in sorted(self._windows):
+            totals += self._windows[window].estimator._planned_estimates(edges)
+        return totals
+
+    def query_edges_direct(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """The pre-plan lifetime path: every window's routed direct path,
+        summed (parity oracle and benchmark baseline)."""
         if len(edges) == 0:
             return []
         totals = np.zeros(len(edges), dtype=np.float64)
         for window in sorted(self._windows):
             totals += np.asarray(
-                self._windows[window].estimator.query_edges(edges), dtype=np.float64
+                self._windows[window].estimator.query_edges_direct(edges),
+                dtype=np.float64,
             )
         return totals.tolist()
 
@@ -225,25 +256,32 @@ class WindowedGSketch:
         return self.confidence_batch([edge])[0]
 
     def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
-        """Lifetime confidence intervals for many edges at once."""
+        """Lifetime confidence intervals for many edges at once.
+
+        Each window contributes its plan-served estimate/bound/failure
+        columns directly (no per-window interval objects), which compose
+        additively exactly as the scalar :meth:`confidence` path does.
+        """
         if len(edges) == 0:
             return []
         estimates = np.zeros(len(edges), dtype=np.float64)
         bounds = np.zeros(len(edges), dtype=np.float64)
         failures = np.zeros(len(edges), dtype=np.float64)
         for window in sorted(self._windows):
-            intervals = self._windows[window].estimator.confidence_batch(edges)
-            estimates += np.asarray([iv.estimate for iv in intervals])
-            bounds += np.asarray([iv.additive_bound for iv in intervals])
-            failures += np.asarray([iv.failure_probability for iv in intervals])
-        return [
-            ConfidenceInterval(
-                estimate=float(estimate),
-                additive_bound=float(bound),
-                failure_probability=float(min(1.0, failure)),
-            )
-            for estimate, bound, failure in zip(estimates, bounds, failures)
-        ]
+            window_est, window_bounds, window_failures, _ = self._windows[
+                window
+            ].estimator._planned_confidence(edges)
+            estimates += window_est
+            bounds += window_bounds
+            failures += window_failures
+        # The union bound over per-window failure events clamps at 1.
+        np.minimum(failures, 1.0, out=failures)
+        return intervals_from_arrays(estimates, bounds, failures)
+
+    def compile_plan(self) -> None:
+        """Eagerly compile (or refresh) every opened window's query plan."""
+        for window in sorted(self._windows):
+            self._windows[window].estimator.compile_plan()
 
     # ------------------------------------------------------------------ #
     # Snapshot protocol

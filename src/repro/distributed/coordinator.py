@@ -31,7 +31,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import GSketchConfig
-from repro.core.estimator import ConfidenceInterval
+from repro.core.estimator import ConfidenceInterval, intervals_from_arrays
 from repro.core.gsketch import (
     DEFAULT_BATCH_SIZE,
     GSketch,
@@ -55,11 +55,12 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
+from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
 
 
-class ShardedGSketch:
+class ShardedGSketch(PlanServingMixin):
     """A gSketch served by N frequency-balanced shards.
 
     Instances are normally created through :meth:`build` (mirroring
@@ -115,6 +116,7 @@ class ShardedGSketch:
         self._started = False
         self._stale = False
         self._sync_failed = False
+        self._init_query_plane()
 
     # ------------------------------------------------------------------ #
     # Builders
@@ -231,6 +233,7 @@ class ShardedGSketch:
         self._elements_processed += routed.num_elements
         self._outlier_elements += routed.outlier_count
         self._stale = True
+        self._bump_generation()
         return routed.num_elements
 
     def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
@@ -296,7 +299,21 @@ class ShardedGSketch:
         return self.query_edges([edge])[0]
 
     def query_edges(self, edges: Sequence[EdgeKey]) -> List[float]:
-        """Estimate many edges at once, vectorized per partition."""
+        """Estimate many edges at once, through the compiled query plan.
+
+        The coordinator answers from its own attached view of the shard
+        state — no worker round-trip: the pipeline is drained once
+        (:meth:`~ShardExecutor.sync` via the plan's pre-query hook) and the
+        arena gather serves every partition in one pass.  Element-wise
+        bit-identical to :meth:`query_edges_direct`.
+        """
+        if len(edges) == 0:
+            return []
+        return self._planned_estimates(edges).tolist()
+
+    def query_edges_direct(self, edges: Sequence[EdgeKey]) -> List[float]:
+        """The pre-plan path: route, then ``estimate_batch`` per shard group
+        (parity oracle and benchmark baseline)."""
         if len(edges) == 0:
             return []
         self._synchronize()
@@ -323,10 +340,9 @@ class ShardedGSketch:
     def confidence_batch(self, edges: Sequence[EdgeKey]) -> List[ConfidenceInterval]:
         """Equation-1 confidence intervals for many edges at once.
 
-        Shares :func:`~repro.core.gsketch.routed_confidence_batch` with
-        :meth:`GSketch.confidence_batch` — only the partition → sketch
-        resolution differs (shard-resident sketches) — so the two paths are
-        bit-identical by construction.
+        Rides the compiled plan (one pass for estimates, constants and
+        provenance); :meth:`confidence_batch_direct` keeps the pre-plan
+        routed path, and the two are bit-identical by construction.
         """
         return self.confidence_batch_with_partitions(edges)[0]
 
@@ -334,6 +350,20 @@ class ShardedGSketch:
         self, edges: Sequence[EdgeKey]
     ) -> "tuple[List[ConfidenceInterval], List[int]]":
         """Intervals plus the partition id that answered each edge."""
+        if len(edges) == 0:
+            return [], []
+        estimates, bounds, failures, partitions = self._planned_confidence(edges)
+        return intervals_from_arrays(estimates, bounds, failures), partitions.tolist()
+
+    def confidence_batch_direct(
+        self, edges: Sequence[EdgeKey]
+    ) -> "tuple[List[ConfidenceInterval], List[int]]":
+        """The pre-plan routed confidence path (parity oracle).
+
+        Shares :func:`~repro.core.gsketch.routed_confidence_batch` with
+        :meth:`GSketch.confidence_batch_direct` — only the partition → sketch
+        resolution differs (shard-resident sketches).
+        """
         self._synchronize()
         return routed_confidence_batch(
             self._batch_router, edges, self._sketch_for_partition
@@ -342,6 +372,27 @@ class ShardedGSketch:
     def _sketch_for_partition(self, partition: int) -> CountMinSketch:
         """Resolve a partition's physical sketch from its owning shard."""
         return self._shards[int(self._shard_lookup[partition])].sketch_for(partition)
+
+    def _plan_layout(self):
+        """Arena layout: every localized sketch in partition order, outlier
+        last, resolved from the owning shards.
+
+        The plan **copies** the tables (never attaches): the coordinator's
+        sketch tables may already be zero-copy views into a shared-memory
+        ingest arena, and out-of-process syncs can swap the sketch objects
+        wholesale — so the read arena re-copies on each generation refresh
+        instead.
+        """
+        sketches = [
+            self._sketch_for_partition(partition)
+            for partition in range(self.plan.num_partitions)
+        ]
+        sketches.append(self._sketch_for_partition(OUTLIER_PARTITION))
+        return sketches, self.router, False
+
+    def _before_plan_query(self) -> None:
+        """Drain in-flight batches so the arena refresh sees final counters."""
+        self._synchronize()
 
     def is_outlier_query(self, edge: EdgeKey) -> bool:
         """Whether the edge query would be answered by the outlier sketch."""
@@ -427,6 +478,7 @@ class ShardedGSketch:
                 self._elements_processed += sketch.update_count
                 if partition == OUTLIER_PARTITION:
                     self._outlier_elements = sketch.update_count
+        self._bump_generation()
 
     def merge(self, other: "ShardedGSketch") -> None:
         """Fold another engine's counters into this one, shard by shard.
@@ -443,6 +495,7 @@ class ShardedGSketch:
             mine.merge(theirs)
         self._elements_processed += other._elements_processed
         self._outlier_elements += other._outlier_elements
+        self._bump_generation()
         # Workers (if any) still hold the pre-merge state; respawn them from
         # the merged coordinator state on next use.
         self._reset_executor()

@@ -25,11 +25,13 @@ from repro.graph.edge import StreamEdge
 from repro.sketches.hashing import key_to_uint64, pair_keys_to_uint64
 
 
-def _column(values: List) -> np.ndarray:
+def label_column(values: List) -> np.ndarray:
     """Build a label column: an int64 array when possible, object otherwise.
 
     Only genuine integers are columnarized — floats, bools and strings keep
     their identity in an object array so hashing semantics never change.
+    (A bare ``np.asarray`` would promote mixed int/str labels to strings and
+    silently change routing.)
     """
     if values and all(
         isinstance(v, (int, np.integer)) and not isinstance(v, bool) for v in values
@@ -41,6 +43,10 @@ def _column(values: List) -> np.ndarray:
     arr = np.empty(len(values), dtype=object)
     arr[:] = values
     return arr
+
+
+#: Backwards-compatible internal alias.
+_column = label_column
 
 
 @dataclass(frozen=True)

@@ -1,4 +1,5 @@
-"""Query model, workload generation and estimation-accuracy metrics."""
+"""Query model, workload generation, accuracy metrics and the compiled
+read-optimized query plan."""
 
 from repro.queries.aggregate import AGGREGATES, AggregateFunction, get_aggregate
 from repro.queries.edge_query import EdgeQuery
@@ -9,6 +10,11 @@ from repro.queries.evaluation import (
     evaluate_edge_queries,
     evaluate_subgraph_queries,
     relative_error,
+)
+from repro.queries.plan import (
+    CompiledQueryPlan,
+    HotEdgeCache,
+    PlanServingMixin,
 )
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.queries.workload import (
@@ -22,8 +28,11 @@ from repro.queries.workload import (
 __all__ = [
     "AGGREGATES",
     "AggregateFunction",
+    "CompiledQueryPlan",
     "EdgeQuery",
     "EvaluationResult",
+    "HotEdgeCache",
+    "PlanServingMixin",
     "QueryWorkload",
     "SubgraphQuery",
     "average_relative_error",

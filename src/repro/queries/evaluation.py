@@ -16,6 +16,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Sequence
 
+import numpy as np
+
 from repro.graph.edge import EdgeKey
 from repro.queries.edge_query import EdgeQuery
 from repro.queries.subgraph_query import SubgraphQuery
@@ -37,13 +39,35 @@ def relative_error(estimate: float, truth: float) -> float:
     return estimate / truth - 1.0
 
 
+def relative_errors(
+    estimates: Sequence[float], truths: Sequence[float]
+) -> np.ndarray:
+    """Per-query Equation-12 errors as one vectorized column.
+
+    Applies the same checks as the scalar :func:`relative_error` — equal
+    lengths, and every truth strictly positive (the first offending truth is
+    named in the error, exactly as the scalar path would raise on it).
+    """
+    estimate_arr = np.asarray(estimates, dtype=np.float64)
+    truth_arr = np.asarray(truths, dtype=np.float64)
+    if estimate_arr.shape != truth_arr.shape or estimate_arr.ndim != 1:
+        raise ValueError("estimates and truths must have the same length")
+    invalid = truth_arr <= 0
+    if invalid.any():
+        offender = truths[int(np.argmax(invalid))]
+        raise ValueError(
+            f"true frequency must be > 0 to compute a relative error, got {offender}"
+        )
+    return estimate_arr / truth_arr - 1.0
+
+
 def average_relative_error(estimates: Sequence[float], truths: Sequence[float]) -> float:
-    """Mean relative error over a query set (Equation 13)."""
+    """Mean relative error over a query set (Equation 13), vectorized."""
     if len(estimates) != len(truths):
         raise ValueError("estimates and truths must have the same length")
-    if not estimates:
+    if not len(estimates):
         raise ValueError("cannot average over an empty query set")
-    return sum(relative_error(e, t) for e, t in zip(estimates, truths)) / len(estimates)
+    return float(relative_errors(estimates, truths).mean())
 
 
 def effective_query_count(
@@ -51,11 +75,14 @@ def effective_query_count(
     truths: Sequence[float],
     threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
 ) -> int:
-    """Number of queries with relative error <= ``threshold`` (Equation 14)."""
+    """Number of queries with relative error <= ``threshold`` (Equation 14),
+    vectorized."""
     require_non_negative(threshold, "threshold")
     if len(estimates) != len(truths):
         raise ValueError("estimates and truths must have the same length")
-    return sum(1 for e, t in zip(estimates, truths) if relative_error(e, t) <= threshold)
+    if not len(estimates):
+        return 0
+    return int((relative_errors(estimates, truths) <= threshold).sum())
 
 
 @dataclass(frozen=True)
@@ -89,16 +116,21 @@ def summarize_errors(
     truths: Sequence[float],
     threshold: float = DEFAULT_EFFECTIVENESS_THRESHOLD,
 ) -> EvaluationResult:
-    """Build an :class:`EvaluationResult` from parallel estimate/truth lists."""
-    errors = [relative_error(e, t) for e, t in zip(estimates, truths)]
-    if not errors:
+    """Build an :class:`EvaluationResult` from parallel estimate/truth lists.
+
+    One vectorized error column feeds every summary statistic — this sits on
+    the benchmark-scoring path, where query sets are 10,000 strong (Section
+    6.3) and the former per-query ``zip`` loop was the bottleneck.
+    """
+    if not len(estimates):
         raise ValueError("cannot evaluate an empty query set")
+    errors = relative_errors(estimates, truths)
     return EvaluationResult(
-        query_count=len(errors),
-        average_relative_error=sum(errors) / len(errors),
-        effective_queries=sum(1 for err in errors if err <= threshold),
+        query_count=int(errors.size),
+        average_relative_error=float(errors.mean()),
+        effective_queries=int((errors <= threshold).sum()),
         threshold=threshold,
-        max_relative_error=max(errors),
+        max_relative_error=float(errors.max()),
     )
 
 

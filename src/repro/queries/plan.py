@@ -1,0 +1,451 @@
+"""The read-optimized query plane: frozen sketch arenas + one-gather estimation.
+
+Ingestion got its vectorized hot path in earlier iterations (batched hashing,
+shared-memory arenas, fused apply kernels); this module gives *queries* the
+same treatment.  The serving workload the ROADMAP targets — millions of small
+point-query batches per second — is dominated by per-call overhead, not kernel
+time: the live path pays, per call, an ``EdgeBatch`` round-trip, a stable
+argsort, per-partition ``PartitionGroup`` construction, and one
+``estimate_batch`` (itself a per-row Python loop) *per partition touched*.
+
+:class:`CompiledQueryPlan` removes all of that.  At compile time the counter
+tables of every partition sketch **plus the outlier sketch** are laid out in
+one contiguous ``(depth, Σwidths)`` read arena (the same layout the
+shared-memory ingest executor uses for its per-shard arenas), together with a
+stacked per-slot hash-coefficient matrix and per-slot column offsets.  A batch
+of M edges spanning any number of partitions is then answered by exactly
+
+1. one vectorized key canonicalization
+   (:func:`~repro.sketches.hashing.pair_keys_to_uint64`),
+2. one vectorized key → partition route
+   (:meth:`~repro.core.router.VertexRouter.route_batch`) plus one ``where``
+   mapping partitions onto arena slots,
+3. one fused :func:`~repro.sketches.hashing.mulmod_mersenne61_batch` pass over
+   all ``depth × M`` (coefficient, key) pairs
+   (:func:`~repro.sketches.hashing.gathered_hash_columns` with per-element
+   coefficient columns),
+4. one fancy-index gather from the flat arena and one ``min`` reduce —
+
+with **no per-group Python loop and no per-partition ``estimate_batch``
+calls**.  Because the arithmetic is the identical uint64 kernel sequence the
+live path runs, plan answers are bit-identical to
+``CountMinSketch.estimate_batch`` per element; the parity tests in
+``tests/test_query_plan.py`` enforce that for every backend.
+
+Freshness is generation-based: every backend bumps an ingest generation
+counter on any mutation, and :class:`PlanServingMixin` lazily refreshes the
+plan (and clears the :class:`HotEdgeCache`) when the generation moved.  For
+backends whose sketches own private tables (``GSketch``, ``GlobalSketch`` and
+the per-window estimators) the arena is **attached**: the sketches adopt
+zero-copy views into the arena (:meth:`~repro.sketches.countmin.CountMinSketch.attach_table`),
+so ingestion writes land directly in the arena and a refresh only has to
+re-derive the per-slot confidence constants.  The sharded coordinator cannot
+attach (its sketches may already be views into a shared-memory ingest arena,
+and executor syncs may swap the sketch objects wholesale), so its plan
+re-copies the tables on refresh instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.batch import EdgeBatch, label_column
+from repro.graph.edge import EdgeKey
+from repro.sketches.countmin import CountMinSketch
+from repro.sketches.hashing import gathered_hash_columns, key_to_uint64
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
+    from repro.core.router import VertexRouter
+
+#: Mirrors :data:`repro.core.router.OUTLIER_PARTITION`.  Importing it here
+#: would cycle (``repro.core.__init__`` → ``gsketch`` → this module); the
+#: equality is pinned by ``tests/test_query_plan.py``.
+OUTLIER_PARTITION = -1
+
+#: Batches up to this size consult the hot-edge cache before touching the
+#: arena.  Beyond it the vectorized gather amortizes better than per-key
+#: dictionary probes.
+HOT_CACHE_MAX_BATCH = 8
+
+#: Default number of memoized point estimates per estimator.
+DEFAULT_CACHE_CAPACITY = 65_536
+
+
+class HotEdgeCache:
+    """Generation-tagged memo of point estimates, keyed by canonical uint64.
+
+    Repeated point queries for the same (hot) edges are the dominant serving
+    pattern the paper's workload model implies — Zipf-skewed query sets hit a
+    small set of edges over and over.  The cache maps the canonical uint64
+    edge key to its most recent estimate and is invalidated wholesale whenever
+    the owning estimator's ingest generation moves, so a hit is always
+    bit-identical to recomputing through the plan.
+    """
+
+    __slots__ = ("capacity", "_entries", "_generation")
+
+    def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        if capacity <= 0:
+            raise ValueError(f"cache capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, float] = {}
+        self._generation = -1
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def generation(self) -> int:
+        """The ingest generation the cached estimates belong to."""
+        return self._generation
+
+    def _sync_generation(self, generation: int) -> Dict[int, float]:
+        if generation != self._generation:
+            self._entries = {}
+            self._generation = generation
+        return self._entries
+
+    def lookup_many(self, generation: int, keys: Sequence[int]) -> Optional[List[float]]:
+        """All-or-nothing lookup: the estimates for ``keys``, or ``None``.
+
+        Partial hits return ``None`` — the vectorized plan path answers the
+        whole batch at essentially the cost of answering the misses alone.
+        """
+        entries = self._sync_generation(generation)
+        values = []
+        for key in keys:
+            value = entries.get(key)
+            if value is None:
+                return None
+            values.append(value)
+        return values
+
+    def store_many(
+        self, generation: int, keys: Sequence[int], values: Sequence[float]
+    ) -> None:
+        """Memoize a batch of (key, estimate) pairs under ``generation``."""
+        entries = self._sync_generation(generation)
+        if len(entries) + len(keys) > self.capacity:
+            # Wholesale eviction: the hot set re-establishes itself within a
+            # few batches, and a clear keeps the memo O(1) with no bookkeeping.
+            entries.clear()
+        for key, value in zip(keys, values):
+            entries[key] = value
+
+
+class CompiledQueryPlan:
+    """A frozen, arena-backed read path over a set of partition sketches.
+
+    Build instances through :meth:`compile`; slot ``i`` serves partition ``i``
+    and, when a router is present, the last slot serves the outlier partition.
+    """
+
+    def __init__(
+        self,
+        *,
+        arena: np.ndarray,
+        hash_a: np.ndarray,
+        hash_b: np.ndarray,
+        widths: np.ndarray,
+        offsets: np.ndarray,
+        router: Optional[VertexRouter],
+        attached: bool,
+        views: Tuple[np.ndarray, ...],
+        generation: int,
+    ) -> None:
+        self._arena = arena
+        self._flat = arena.reshape(-1)
+        self._a = hash_a
+        self._b = hash_b
+        self._widths = widths
+        self._offsets = offsets
+        self._router = router
+        self._attached = attached
+        self._views = views
+        self.generation = generation
+        depth, total_width = arena.shape
+        self._row_base = (np.arange(depth, dtype=np.int64) * total_width)[:, None]
+        self._bounds = np.zeros(len(widths), dtype=np.float64)
+        self._failures = np.zeros(len(widths), dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Compilation / refresh
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def compile(
+        cls,
+        sketches: Sequence[CountMinSketch],
+        router: Optional[VertexRouter],
+        generation: int = 0,
+        attach: bool = False,
+    ) -> "CompiledQueryPlan":
+        """Lay the sketches out in one read arena and stack their hashing.
+
+        Args:
+            sketches: the physical sketches in slot order — for partitioned
+                backends the localized sketches in partition order followed by
+                the outlier sketch; a single sketch for the global baseline.
+            router: the vertex → partition hash structure ``H``; ``None``
+                routes every edge to slot 0 (single-sketch backends).
+            generation: the owning estimator's ingest generation at compile
+                time.
+            attach: adopt zero-copy arena views as the sketches' live tables
+                (:meth:`~repro.sketches.countmin.CountMinSketch.attach_table`),
+                so subsequent ingestion writes straight into the arena.  Only
+                safe for sketches with private tables.
+        """
+        if not sketches:
+            raise ValueError("cannot compile a query plan over zero sketches")
+        depth = sketches[0].depth
+        for sketch in sketches:
+            if sketch.depth != depth:
+                raise ValueError(
+                    f"all sketches must share depth {depth}, got {sketch.depth}"
+                )
+        widths = np.asarray([sketch.width for sketch in sketches], dtype=np.uint64)
+        offsets = np.zeros(len(sketches), dtype=np.int64)
+        np.cumsum(widths[:-1].astype(np.int64), out=offsets[1:])
+        total_width = int(offsets[-1]) + int(widths[-1])
+        arena = np.zeros((depth, total_width), dtype=np.float64)
+
+        hash_a = np.empty((depth, len(sketches)), dtype=np.uint64)
+        hash_b = np.empty((depth, len(sketches)), dtype=np.uint64)
+        views = []
+        for slot, sketch in enumerate(sketches):
+            a, b = sketch.hash_arrays()
+            hash_a[:, slot] = a
+            hash_b[:, slot] = b
+            start = int(offsets[slot])
+            view = arena[:, start : start + sketch.width]
+            if attach:
+                sketch.attach_table(view)
+            else:
+                view[...] = sketch.table
+            views.append(view)
+
+        plan = cls(
+            arena=arena,
+            hash_a=hash_a,
+            hash_b=hash_b,
+            widths=widths,
+            offsets=offsets,
+            router=router,
+            attached=attach,
+            views=tuple(views),
+            generation=generation,
+        )
+        plan._refresh_constants(sketches)
+        return plan
+
+    def _refresh_constants(self, sketches: Sequence[CountMinSketch]) -> None:
+        """Re-derive the per-slot Equation-1 constants from the live sketches.
+
+        Routed through :func:`~repro.core.estimator.countmin_confidence` — the
+        scalar single source of truth — so plan-served intervals cannot
+        diverge from the live confidence path.
+        """
+        from repro.core.estimator import countmin_confidence
+
+        for slot, sketch in enumerate(sketches):
+            template = countmin_confidence(sketch, 0.0)
+            self._bounds[slot] = template.additive_bound
+            self._failures[slot] = template.failure_probability
+
+    def refresh(self, sketches: Sequence[CountMinSketch], generation: int) -> None:
+        """Bring the plan up to date with the live sketches after ingestion.
+
+        Attached plans share counter storage with the sketches, so only the
+        confidence constants need re-deriving; detached plans (the sharded
+        coordinator, whose sketch objects may have been swapped by an
+        executor sync) re-copy every table into the arena.  Either way the
+        arena afterwards equals a fresh :meth:`compile` of ``sketches``.
+        """
+        if len(sketches) != len(self._views):
+            raise ValueError(
+                f"plan covers {len(self._views)} slots, got {len(sketches)} sketches"
+            )
+        for slot, sketch in enumerate(sketches):
+            view = self._views[slot]
+            if view.shape != (self._arena.shape[0], sketch.width):
+                raise ValueError(
+                    f"slot {slot} width changed: plan has {view.shape[1]}, "
+                    f"sketch has {sketch.width}"
+                )
+            if self._attached:
+                # Re-adopt only if the sketch's table was swapped out from
+                # under the arena (e.g. a load_state); adoption is idempotent.
+                if not sketch.owns_table(view):
+                    sketch.attach_table(view)
+            else:
+                view[...] = sketch.table
+        self._refresh_constants(sketches)
+        self.generation = generation
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    @property
+    def attached(self) -> bool:
+        """Whether the sketches' live tables are views into this arena."""
+        return self._attached
+
+    @property
+    def num_slots(self) -> int:
+        """Number of arena slots (partitions plus outlier, or 1)."""
+        return len(self._widths)
+
+    @property
+    def arena_cells(self) -> int:
+        """Number of counter cells in the read arena."""
+        return self._arena.size
+
+    def route_sources(
+        self, sources: np.ndarray
+    ) -> Tuple[np.ndarray, Optional[np.ndarray]]:
+        """Arena slot per source vertex, plus the raw partition ids.
+
+        Single-sketch plans (no router) route everything to slot 0 and report
+        no partition column.
+        """
+        if self._router is None:
+            return np.zeros(len(sources), dtype=np.int64), None
+        partitions = self._router.route_batch(sources)
+        slots = np.where(
+            partitions == OUTLIER_PARTITION, self.num_slots - 1, partitions
+        )
+        return slots, partitions
+
+    def estimate_keys(self, keys: np.ndarray, slots: np.ndarray) -> np.ndarray:
+        """Point estimates for pre-canonicalized keys with known arena slots.
+
+        One fused hash pass over all ``depth × M`` pairs, one flat gather,
+        one ``min`` reduce — bit-identical per element to
+        :meth:`~repro.sketches.countmin.CountMinSketch.estimate_batch` on the
+        slot's own sketch.
+        """
+        if keys.size == 0:
+            return np.zeros(0, dtype=np.float64)
+        if self.num_slots == 1:
+            # Single-slot plans (the global baseline) broadcast the one
+            # coefficient column instead of gathering it per element, and
+            # have no column offsets to apply.
+            cols = gathered_hash_columns(self._a, self._b, self._widths, keys)
+        else:
+            cols = gathered_hash_columns(
+                self._a[:, slots], self._b[:, slots], self._widths[slots], keys
+            )
+            cols += self._offsets[slots]
+        cols += self._row_base
+        return self._flat[cols].min(axis=0)
+
+    def confidence_constants(self, slots: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Per-element additive bounds and failure probabilities, by slot."""
+        return self._bounds[slots], self._failures[slots]
+
+    def query_edges(self, edges: Sequence[EdgeKey]) -> np.ndarray:
+        """Estimates for bare edge keys (hash + route + gather, no cache)."""
+        if len(edges) == 0:
+            return np.zeros(0, dtype=np.float64)
+        batch = EdgeBatch.from_edge_keys(edges)
+        slots, _ = self.route_sources(batch.sources)
+        return self.estimate_keys(batch.hashed_keys(), slots)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CompiledQueryPlan(slots={self.num_slots}, cells={self.arena_cells}, "
+            f"attached={self._attached}, generation={self.generation})"
+        )
+
+
+class PlanServingMixin:
+    """Plan-served point queries shared by every estimator backend.
+
+    A backend mixes this in, calls :meth:`_init_query_plane` during
+    construction, bumps :meth:`_bump_generation` on **every** state mutation
+    (per-element update, batch ingest, merge, checkpoint restore), and
+    implements :meth:`_plan_layout`; in return it gets :meth:`compile_plan`
+    (lazy compile / generation-checked refresh), plan-served
+    :meth:`_planned_estimates` with the hot-edge cache in front, and
+    :meth:`_planned_confidence` producing intervals plus partition
+    provenance from the same single routing pass.
+    """
+
+    _query_plan: Optional[CompiledQueryPlan]
+
+    def _init_query_plane(self, cache_capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
+        self._query_plan = None
+        self._plan_generation = 0
+        self._hot_cache = HotEdgeCache(cache_capacity)
+
+    def _bump_generation(self) -> None:
+        """Mark any compiled plan and memoized estimates as stale."""
+        self._plan_generation += 1
+
+    @property
+    def ingest_generation(self) -> int:
+        """Monotonic counter of state mutations (plan/cache invalidation tag)."""
+        return self._plan_generation
+
+    # -- backend hooks -------------------------------------------------- #
+    def _plan_layout(
+        self,
+    ) -> Tuple[List[CountMinSketch], Optional[VertexRouter], bool]:
+        """The sketches in slot order, the router, and whether to attach."""
+        raise NotImplementedError
+
+    def _before_plan_query(self) -> None:
+        """Pre-serve hook (the sharded coordinator drains its pipeline here)."""
+
+    # -- plan lifecycle ------------------------------------------------- #
+    def compile_plan(self) -> CompiledQueryPlan:
+        """The current plan, compiling or refreshing it if ingestion moved on."""
+        self._before_plan_query()
+        plan = self._query_plan
+        if plan is None:
+            sketches, router, attach = self._plan_layout()
+            plan = CompiledQueryPlan.compile(
+                sketches, router, generation=self._plan_generation, attach=attach
+            )
+            self._query_plan = plan
+        elif plan.generation != self._plan_generation:
+            sketches, _router, _attach = self._plan_layout()
+            plan.refresh(sketches, self._plan_generation)
+        return plan
+
+    # -- serving -------------------------------------------------------- #
+    def _planned_estimates(self, edges: Sequence[EdgeKey]) -> np.ndarray:
+        """Plan-served estimates with the hot-edge cache on small batches."""
+        if len(edges) == 0:
+            return np.zeros(0, dtype=np.float64)
+        plan = self.compile_plan()
+        if len(edges) <= HOT_CACHE_MAX_BATCH:
+            # Scalar canonicalization: bit-identical to the batched pipeline
+            # (pair_keys_to_uint64 == key_to_uint64 of the tuple) and cheaper
+            # than columnarizing a tiny batch.
+            keys = [key_to_uint64((edge[0], edge[1])) for edge in edges]
+            cached = self._hot_cache.lookup_many(self._plan_generation, keys)
+            if cached is not None:
+                return np.asarray(cached, dtype=np.float64)
+            slots, _ = plan.route_sources(label_column([edge[0] for edge in edges]))
+            estimates = plan.estimate_keys(np.asarray(keys, dtype=np.uint64), slots)
+            self._hot_cache.store_many(self._plan_generation, keys, estimates.tolist())
+            return estimates
+        return plan.query_edges(edges)
+
+    def _planned_confidence(
+        self, edges: Sequence[EdgeKey]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
+        """``(estimates, bounds, failures, partitions)`` from one routing pass.
+
+        ``partitions`` is ``None`` for single-sketch plans.  The constants are
+        gathered per element by arena slot, so queries spanning any number of
+        partitions stay loop-free.
+        """
+        plan = self.compile_plan()
+        batch = EdgeBatch.from_edge_keys(edges)
+        slots, partitions = plan.route_sources(batch.sources)
+        estimates = plan.estimate_keys(batch.hashed_keys(), slots)
+        bounds, failures = plan.confidence_constants(slots)
+        return estimates, bounds, failures, partitions

@@ -129,6 +129,14 @@ class CountMinSketch(FrequencySketch):
         reconstruct hashing from these without shipping sketch state)."""
         return tuple(self._hashes.coefficients())
 
+    def hash_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        """The per-row ``(a, b)`` coefficients as uint64 columns.
+
+        The compiled query plan stacks these (one column per arena slot) into
+        the coefficient matrix its fused hash pass gathers from.
+        """
+        return self._hashes.coefficient_arrays()
+
     # ------------------------------------------------------------------ #
     # Updates
     # ------------------------------------------------------------------ #
@@ -346,6 +354,16 @@ class CountMinSketch(FrequencySketch):
             )
         view[...] = self._table
         self._table = view
+
+    def owns_table(self, view: np.ndarray) -> bool:
+        """Whether ``view`` is this sketch's live counter table (identity).
+
+        The compiled query plan uses this to verify that a sketch is still
+        attached to the plan's read arena before skipping the table re-copy
+        on a refresh; a sketch whose table was swapped out (``load_state``)
+        fails the check and is re-attached.
+        """
+        return self._table is view
 
     def detach_table(self) -> None:
         """Re-privatize the counter table (copy it out of any shared buffer).

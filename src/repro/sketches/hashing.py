@@ -246,6 +246,19 @@ class PairwiseHashFamily:
         for a, b in zip(self._a.tolist(), self._b.tolist()):
             yield int(a), int(b)
 
+    def coefficient_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """The per-row ``(a, b)`` coefficients as read-only uint64 columns.
+
+        The compiled query plan stacks these across many sketches into one
+        per-slot coefficient matrix; returning array views avoids a
+        tuple-of-ints round trip per sketch.
+        """
+        a = self._a.view()
+        b = self._b.view()
+        a.setflags(write=False)
+        b.setflags(write=False)
+        return a, b
+
 
 class SignHashFamily:
     """A family of ``depth`` pairwise-independent ±1 hash functions.

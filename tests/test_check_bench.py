@@ -173,6 +173,106 @@ def test_markdown_summary_written(reports, monkeypatch):
     assert "✅" in text
 
 
+QUERY_BASELINES = {
+    "tolerance": 0.1,
+    "profiles": {
+        "quick": {
+            "query": {
+                "require_parity": True,
+                "floors": [
+                    {"backend": "gsketch", "batch_size": 1, "min_ratio": 5.0},
+                    {"backend": "gsketch", "batch_size": 8, "min_ratio": 5.0},
+                ],
+            }
+        }
+    },
+}
+
+
+def _query_report(rows, parity: bool = True, row_parity: bool = True) -> dict:
+    return {
+        "parity_ok": parity,
+        "results": [
+            {
+                "backend": backend,
+                "batch_size": batch_size,
+                "direct_qps": direct,
+                "plan_qps": plan,
+                "parity_ok": row_parity,
+            }
+            for backend, batch_size, direct, plan in rows
+        ],
+    }
+
+
+@pytest.fixture
+def query_reports(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    baselines = write("query_baselines.json", QUERY_BASELINES)
+    healthy = write(
+        "query_good.json",
+        _query_report(
+            [("gsketch", 1, 5_000.0, 200_000.0), ("gsketch", 8, 20_000.0, 300_000.0)]
+        ),
+    )
+    return baselines, healthy, write
+
+
+def test_query_gate_passes_on_healthy_report(query_reports, capsys):
+    baselines, healthy, _ = query_reports
+    code = check_bench.main(
+        ["--profile", "quick", "--query", healthy, "--baselines", baselines]
+    )
+    assert code == 0
+    assert "plan / direct" in capsys.readouterr().out
+
+
+def test_query_gate_fails_on_speedup_regression(query_reports):
+    baselines, _, write = query_reports
+    slow = write(
+        "query_slow.json",
+        _query_report(
+            [("gsketch", 1, 5_000.0, 15_000.0), ("gsketch", 8, 20_000.0, 300_000.0)]
+        ),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--query", slow, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_query_gate_fails_on_row_level_parity_break(query_reports):
+    baselines, _, write = query_reports
+    broken = write(
+        "query_parity.json",
+        _query_report(
+            [("gsketch", 1, 5_000.0, 200_000.0), ("gsketch", 8, 20_000.0, 300_000.0)],
+            parity=True,
+            row_parity=False,
+        ),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--query", broken, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_query_gate_fails_on_missing_row(query_reports):
+    baselines, _, write = query_reports
+    missing = write(
+        "query_missing.json",
+        _query_report([("gsketch", 1, 5_000.0, 200_000.0)]),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--query", missing, "--baselines", baselines]
+    )
+    assert code == 1
+
+
 def test_committed_baselines_parse_and_cover_both_profiles():
     """The checked-in floor file stays loadable and structurally sound."""
     path = pathlib.Path(__file__).resolve().parents[1] / "experiments" / "bench_baselines.json"
@@ -190,3 +290,18 @@ def test_committed_baselines_parse_and_cover_both_profiles():
         for f in data["profiles"]["full"]["throughput"]["floors"]
     }
     assert full_floors[("rmat", "sharded-4-shared", "batched")] >= 1.5
+    # The query-plane acceptance bar: both profiles enforce the compiled
+    # plan >= 5x the pre-plan path on small gsketch batches, parity required.
+    for profile in ("quick", "full"):
+        query_rules = data["profiles"][profile]["query"]
+        assert query_rules["require_parity"] is True
+        query_floors = {
+            (f["backend"], f["batch_size"]): f["min_ratio"]
+            for f in query_rules["floors"]
+        }
+        assert query_floors[("gsketch", 1)] >= 5.0
+        assert query_floors[("gsketch", 8)] >= 5.0
+        # At least one floor must sit beyond the hot-edge cache's batch
+        # ceiling, so the arena gather path itself is gated (a cache-only
+        # floor would let an estimate_keys regression through).
+        assert query_floors[("gsketch", 64)] > 1.0

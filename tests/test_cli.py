@@ -54,6 +54,30 @@ def test_build_ingest_query_bench_roundtrip(tmp_path, capsys):
     assert benched["edges_per_second"] > 0
 
 
+def test_query_bench_mode(capsys):
+    report = run_cli(
+        capsys,
+        "query-bench", *RMAT, "--cells", "12000", "--depth", "4",
+        "--queries", "64", "--batch-sizes", "1", "8",
+        "--rounds", "1", "--repeats", "1",
+    )
+    assert report["benchmark"] == "query-throughput"
+    assert report["backend"] == "gsketch"
+    assert report["parity_ok"] is True
+    assert {row["batch_size"] for row in report["results"]} == {1, 8}
+    for row in report["results"]:
+        assert row["direct_qps"] > 0 and row["plan_qps"] > 0
+
+
+def test_query_bench_baseline_conflicts(capsys):
+    code = main(
+        ["query-bench", *RMAT, "--baseline", "--sharded", "2"]
+    )
+    assert code == 2
+    err = json.loads(capsys.readouterr().err)
+    assert "baseline" in err["error"]
+
+
 def test_build_variants(tmp_path, capsys):
     sharded_snap = str(tmp_path / "sharded.snap")
     built = run_cli(

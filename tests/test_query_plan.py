@@ -1,0 +1,338 @@
+"""The compiled query plane: bit-exact parity, cache lifecycle, stale rebuild.
+
+The invariant under test everywhere: the read-optimized path (arena gather +
+hot-edge cache) answers **bit-identically** to the pre-plan routed path, for
+every backend, through every mutation (per-element update, batch ingest,
+merge, snapshot restore) and for every query flavour (in-partition, outlier,
+fractional counts, conservative updates).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.api.engine import SketchEngine
+from repro.api.snapshot import load_snapshot, save_snapshot
+from repro.core.config import GSketchConfig
+from repro.core.gsketch import GSketch
+from repro.core.global_sketch import GlobalSketch
+from repro.core.router import OUTLIER_PARTITION
+from repro.core.windowed import WindowedGSketch
+from repro.distributed.coordinator import ShardedGSketch
+from repro.queries import plan as plan_module
+from repro.queries.plan import (
+    HOT_CACHE_MAX_BATCH,
+    CompiledQueryPlan,
+    HotEdgeCache,
+)
+from repro.sketches.countmin import CountMinSketch
+
+
+def _query_set(stream, count=300):
+    """Stream edges plus never-seen sources (the outlier slot must serve)."""
+    keys = sorted(stream.distinct_edges())[:count]
+    keys += [(10**9 + index, 3) for index in range(6)]
+    return keys
+
+
+def _build_backend(kind, stream, sample, config):
+    if kind == "global":
+        estimator = GlobalSketch(config)
+        estimator.process(stream)
+    elif kind == "gsketch":
+        estimator = GSketch.build(sample, config, stream_size_hint=len(stream))
+        estimator.process(stream)
+    elif kind == "sharded":
+        estimator = ShardedGSketch.build(
+            sample, config, num_shards=2, stream_size_hint=len(stream)
+        )
+        estimator.ingest(stream)
+    elif kind == "windowed":
+        estimator = WindowedGSketch(
+            config, window_length=len(stream) / 3.0, sample_size=400, seed=7
+        )
+        estimator.process(stream)
+    else:  # pragma: no cover - parametrization guard
+        raise ValueError(kind)
+    return estimator
+
+
+BACKENDS = ("global", "gsketch", "sharded", "windowed")
+
+
+# ---------------------------------------------------------------------- #
+# Plan-vs-live parity
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_plan_matches_direct_path(kind, zipf_stream, zipf_sample, small_config):
+    estimator = _build_backend(kind, zipf_stream, zipf_sample, small_config)
+    keys = _query_set(zipf_stream)
+    assert estimator.query_edges(keys) == estimator.query_edges_direct(keys)
+    # Small batches ride the hot-edge cache; repeated calls must stay exact.
+    small = keys[:HOT_CACHE_MAX_BATCH]
+    first = estimator.query_edges(small)
+    assert first == estimator.query_edges(small)
+    assert first == estimator.query_edges_direct(small)
+
+
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_plan_matches_direct_on_fractional_counts(
+    kind, weighted_stream, small_config
+):
+    sample = weighted_stream  # partition from the full weighted stream
+    estimator = _build_backend(kind, weighted_stream, sample, small_config)
+    keys = _query_set(weighted_stream, count=200)
+    assert estimator.query_edges(keys) == estimator.query_edges_direct(keys)
+
+
+@pytest.mark.parametrize("kind", ("global", "gsketch"))
+def test_plan_matches_direct_with_conservative_updates(
+    kind, zipf_stream, zipf_sample
+):
+    config = GSketchConfig(
+        total_cells=8_000, depth=4, seed=7, conservative_updates=True
+    )
+    estimator = _build_backend(kind, zipf_stream, zipf_sample, config)
+    keys = _query_set(zipf_stream, count=200)
+    assert estimator.query_edges(keys) == estimator.query_edges_direct(keys)
+
+
+def test_confidence_batch_rides_the_plan(zipf_stream, zipf_sample, small_config):
+    gsketch = _build_backend("gsketch", zipf_stream, zipf_sample, small_config)
+    keys = _query_set(zipf_stream, count=150)
+    plan_intervals, plan_partitions = gsketch.confidence_batch_with_partitions(keys)
+    direct_intervals, direct_partitions = gsketch.confidence_batch_direct(keys)
+    assert plan_intervals == direct_intervals
+    assert plan_partitions == direct_partitions
+    # Scalar path agreement (different code path, same constants).
+    for key, interval in zip(keys[:20], plan_intervals[:20]):
+        assert gsketch.confidence(key) == interval
+
+
+def test_sharded_confidence_batch_rides_the_plan(
+    zipf_stream, zipf_sample, small_config
+):
+    sharded = _build_backend("sharded", zipf_stream, zipf_sample, small_config)
+    keys = _query_set(zipf_stream, count=150)
+    assert (
+        sharded.confidence_batch_with_partitions(keys)
+        == sharded.confidence_batch_direct(keys)
+    )
+
+
+def test_windowed_confidence_composes_per_window(zipf_stream, small_config):
+    windowed = _build_backend("windowed", zipf_stream, None, small_config)
+    assert windowed.num_windows >= 2
+    keys = _query_set(zipf_stream, count=60)
+    intervals = windowed.confidence_batch(keys)
+    for key, interval in zip(keys[:10], intervals[:10]):
+        assert windowed.confidence(key) == interval
+        assert interval.failure_probability <= 1.0
+
+
+def test_subgraph_queries_ride_the_plan(zipf_stream, zipf_sample, small_config):
+    from repro.queries.subgraph_query import SubgraphQuery
+
+    gsketch = _build_backend("gsketch", zipf_stream, zipf_sample, small_config)
+    edges = tuple(sorted(zipf_stream.distinct_edges())[:6])
+    query = SubgraphQuery(edges=edges)
+    expected = query.combine(gsketch.query_edges_direct(list(edges)))
+    assert gsketch.query_subgraph(query) == expected
+
+
+# ---------------------------------------------------------------------- #
+# Staleness: ingest invalidates plan and cache
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("kind", BACKENDS)
+def test_plan_rebuilds_after_ingest(kind, zipf_stream, zipf_sample, small_config):
+    estimator = _build_backend(kind, zipf_stream, zipf_sample, small_config)
+    keys = _query_set(zipf_stream, count=100)
+    before = estimator.query_edges(keys)
+    # Re-ingest a slice: every queried edge estimate must move with the
+    # live state, not the stale arena.
+    extra = list(zipf_stream)[:500]
+    if kind == "windowed":
+        # Windowed streams must stay timestamp-ordered; re-observe the tail.
+        extra = list(zipf_stream)[-500:]
+    estimator.ingest_batch(extra)
+    after = estimator.query_edges(keys)
+    assert after == estimator.query_edges_direct(keys)
+    assert sum(after) > sum(before)
+
+
+def test_point_query_cache_invalidates_on_update(zipf_sample, small_config):
+    gsketch = GSketch.build(zipf_sample, small_config)
+    edge = next(iter(zipf_sample.distinct_edges()))
+    assert gsketch.query_edge(edge) == 0.0
+    gsketch.update(edge[0], edge[1], 2.5)
+    assert gsketch.query_edge(edge) == gsketch.query_edges_direct([edge])[0]
+    assert gsketch.query_edge(edge) >= 2.5
+
+
+def test_plan_survives_sharded_merge(zipf_stream, zipf_sample, small_config):
+    left = ShardedGSketch.build(zipf_sample, small_config, num_shards=2)
+    right = ShardedGSketch.build(zipf_sample, small_config, num_shards=2)
+    half = len(zipf_stream) // 2
+    edges = list(zipf_stream)
+    left.ingest(edges[:half])
+    right.ingest(edges[half:])
+    keys = _query_set(zipf_stream, count=100)
+    left.query_edges(keys)  # compile the plan pre-merge
+    left.merge(right)
+    reference = GSketch.build(zipf_sample, small_config)
+    reference.process(zipf_stream)
+    assert left.query_edges(keys) == reference.query_edges(keys)
+    assert left.query_edges(keys) == left.query_edges_direct(keys)
+
+
+def test_plan_refreshes_after_checkpoint_restore(
+    zipf_stream, zipf_sample, small_config
+):
+    sharded = ShardedGSketch.build(zipf_sample, small_config, num_shards=2)
+    sharded.ingest(zipf_stream)
+    keys = _query_set(zipf_stream, count=80)
+    populated = sharded.query_edges(keys)
+    checkpoint = sharded.shard_states()
+    sharded.ingest(list(zipf_stream)[:400])
+    assert sharded.query_edges(keys) != populated
+    sharded.load_shard_states(checkpoint)
+    # The plan (compiled against the post-ingest state) must refresh back
+    # to the checkpoint's counters, not serve the stale arena.
+    assert sharded.query_edges(keys) == populated
+    assert sharded.query_edges(keys) == sharded.query_edges_direct(keys)
+
+
+def test_cache_invalidates_across_snapshot_restore(
+    tmp_path, zipf_stream, zipf_sample, small_config
+):
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    keys = _query_set(zipf_stream, count=4)
+    warm = gsketch.query_edges(keys)  # memoized
+    path = tmp_path / "plan.snap"
+    save_snapshot(gsketch, path)
+    restored = load_snapshot(path)
+    assert restored.query_edges(keys) == warm
+    # Restored estimators start with a cold plane; ingesting must not serve
+    # the pre-restore memo.
+    restored.ingest_batch(list(zipf_stream)[:300])
+    assert restored.query_edges(keys) == restored.query_edges_direct(keys)
+
+
+def test_shared_memory_executor_serves_through_plan(
+    zipf_stream, zipf_sample, small_config
+):
+    from repro.distributed.executor import make_executor
+
+    sharded = ShardedGSketch.build(
+        zipf_sample, small_config, num_shards=2, executor=make_executor("shared")
+    )
+    try:
+        sharded.ingest(zipf_stream, batch_size=1024)
+        keys = _query_set(zipf_stream, count=100)
+        assert sharded.query_edges(keys) == sharded.query_edges_direct(keys)
+        sharded.ingest_batch(list(zipf_stream)[:256])
+        assert sharded.query_edges(keys) == sharded.query_edges_direct(keys)
+    finally:
+        sharded.close()
+
+
+# ---------------------------------------------------------------------- #
+# Plan internals
+# ---------------------------------------------------------------------- #
+def test_outlier_sentinel_mirrors_router():
+    assert plan_module.OUTLIER_PARTITION == OUTLIER_PARTITION
+
+
+def test_compiled_plan_matches_estimate_batch():
+    sketches = [
+        CountMinSketch(width=97 + 13 * index, depth=4, seed=index) for index in range(3)
+    ]
+    rng = np.random.default_rng(3)
+    keys = rng.integers(0, 2**63, size=500, dtype=np.int64).astype(np.uint64)
+    for index, sketch in enumerate(sketches):
+        sketch.update_batch(keys[index::3], np.ones(len(keys[index::3])))
+    plan = CompiledQueryPlan.compile(sketches, router=None, attach=False)
+    slots = np.asarray([index % 3 for index in range(len(keys))], dtype=np.int64)
+    estimates = plan.estimate_keys(keys, slots)
+    for slot, sketch in enumerate(sketches):
+        mask = slots == slot
+        assert np.array_equal(estimates[mask], sketch.estimate_batch(keys[mask]))
+
+
+def test_compiled_plan_rejects_mixed_depths():
+    sketches = [
+        CountMinSketch(width=50, depth=4, seed=0),
+        CountMinSketch(width=50, depth=5, seed=1),
+    ]
+    with pytest.raises(ValueError, match="depth"):
+        CompiledQueryPlan.compile(sketches, router=None)
+
+
+def test_attached_plan_sees_ingest_without_refresh(zipf_sample, small_config):
+    gsketch = GSketch.build(zipf_sample, small_config)
+    plan = gsketch.compile_plan()
+    assert plan.attached
+    edge = next(iter(zipf_sample.distinct_edges()))
+    gsketch.update(edge[0], edge[1], 3.0)
+    # The arena is the live table: no refresh needed for raw estimates.
+    assert float(plan.query_edges([edge])[0]) == gsketch.query_edges_direct([edge])[0]
+
+
+def test_hot_cache_generation_and_capacity():
+    cache = HotEdgeCache(capacity=4)
+    cache.store_many(1, [10, 11], [1.0, 2.0])
+    assert cache.lookup_many(1, [10, 11]) == [1.0, 2.0]
+    assert cache.lookup_many(1, [10, 12]) is None  # partial miss
+    assert cache.lookup_many(2, [10, 11]) is None  # generation moved → cleared
+    assert len(cache) == 0
+    cache.store_many(2, [1, 2, 3], [1.0, 2.0, 3.0])
+    cache.store_many(2, [4, 5], [4.0, 5.0])  # would exceed capacity → clears
+    assert cache.lookup_many(2, [1]) is None
+    assert cache.lookup_many(2, [4, 5]) == [4.0, 5.0]
+
+
+def test_hot_cache_rejects_bad_capacity():
+    with pytest.raises(ValueError):
+        HotEdgeCache(capacity=0)
+
+
+# ---------------------------------------------------------------------- #
+# Facade integration
+# ---------------------------------------------------------------------- #
+def test_engine_frozen_precompiles_and_chains(zipf_stream, zipf_sample, small_config):
+    engine = (
+        SketchEngine.builder()
+        .config(small_config)
+        .sample(zipf_sample)
+        .stream_size_hint(len(zipf_stream))
+        .build()
+    )
+    engine.ingest(zipf_stream)
+    assert engine.frozen() is engine
+    estimator = engine.estimator
+    assert estimator.compile_plan().generation == estimator.ingest_generation
+    keys = _query_set(zipf_stream, count=50)
+    estimates = engine.estimate_edges(keys)
+    direct_intervals, direct_partitions = estimator.confidence_batch_direct(keys)
+    for estimate, interval, partition in zip(
+        estimates, direct_intervals, direct_partitions
+    ):
+        assert estimate.value == interval.estimate
+        assert estimate.interval == interval
+        assert estimate.provenance.partition == partition
+        assert estimate.provenance.outlier == (partition == OUTLIER_PARTITION)
+
+
+def test_non_integer_labels_served_through_plan(small_config):
+    from repro.graph.stream import GraphStream
+
+    stream = GraphStream.from_tuples(
+        (f"v{i % 17}", f"w{i % 11}", float(i), 1.0) for i in range(600)
+    )
+    gsketch = GSketch.build(stream, small_config)
+    gsketch.process(stream)
+    keys = sorted(stream.distinct_edges())[:60] + [("never-seen", "w1")]
+    assert gsketch.query_edges(keys) == gsketch.query_edges_direct(keys)
+    assert gsketch.query_edges(keys[:3]) == gsketch.query_edges_direct(keys[:3])

@@ -1,4 +1,4 @@
-"""Smoke tests for the throughput and partition-build benchmark runners."""
+"""Smoke tests for the throughput, partition-build and query-bench runners."""
 
 from __future__ import annotations
 
@@ -6,6 +6,7 @@ import json
 
 from repro.experiments.build_bench import main as build_bench_main
 from repro.experiments.build_bench import run_build_bench
+from repro.experiments.query_bench import run_query_bench
 from repro.experiments.throughput import main, run_throughput
 
 
@@ -83,3 +84,26 @@ def test_main_writes_report(tmp_path, monkeypatch, capsys):
     assert report["parity_ok"] is True
     assert report["config"]["num_edges"] == 800
     assert "edges/s" in capsys.readouterr().out
+
+
+def test_run_query_bench_reports_all_backends():
+    report = run_query_bench(
+        num_edges=1_500,
+        backends=("global", "gsketch", "sharded-2", "windowed"),
+        batch_sizes=(1, 8, 64),
+        num_queries=128,
+        total_cells=4_000,
+        sample_size=300,
+        rounds=1,
+        repeats=1,
+    )
+    assert report["parity_ok"] is True
+    rows = {(row["backend"], row["batch_size"]) for row in report["results"]}
+    for backend in ("global", "gsketch", "sharded-2", "windowed"):
+        for batch_size in (1, 8, 64):
+            assert (backend, batch_size) in rows
+    for row in report["results"]:
+        assert row["parity_ok"] is True
+        assert row["direct_qps"] > 0
+        assert row["plan_qps"] > 0
+        assert row["speedup"] == row["plan_qps"] / row["direct_qps"]
