@@ -222,6 +222,32 @@ def check_query(report: dict, rules: dict, tolerance: float) -> List[CheckResult
     return checks
 
 
+def check_overhead(report: dict) -> List[CheckResult]:
+    """Advisory telemetry-overhead rows — always reported, never failing.
+
+    The real gate lives in ``experiments/overhead_bench.py`` (it exits
+    non-zero when disabled hooks cost more than its threshold); these rows
+    only surface the measured numbers next to the performance floors.
+    """
+    ratio = float(report.get("disabled_overhead_ratio", 0.0))
+    gate = float(report.get("max_disabled_overhead", 0.02))
+    enabled = float(report.get("enabled_overhead_ratio", 0.0))
+    return [
+        CheckResult(
+            name="overhead (advisory): disabled telemetry hooks / wall",
+            measured=f"{ratio:.4%}",
+            required=f"< {gate:.0%} (gated by overhead_bench itself)",
+            ok=True,
+        ),
+        CheckResult(
+            name="overhead (advisory): enabled telemetry wall-time delta",
+            measured=f"{enabled:+.2%}",
+            required="advisory only",
+            ok=True,
+        ),
+    ]
+
+
 def render_markdown(checks: Sequence[CheckResult], profile: str) -> str:
     """The comparison table as GitHub-flavoured markdown."""
     failed = sum(not check.ok for check in checks)
@@ -275,6 +301,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="query-throughput report to check (default BENCH_query_ci.json)",
     )
     parser.add_argument(
+        "--overhead",
+        default="BENCH_overhead_ci.json",
+        help="telemetry-overhead report for advisory rows; skipped silently "
+        "when the file is absent (default BENCH_overhead_ci.json)",
+    )
+    parser.add_argument(
         "--baselines",
         default=os.path.join(os.path.dirname(__file__), "bench_baselines.json"),
         help="committed floor definitions (default experiments/bench_baselines.json)",
@@ -309,6 +341,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "query" in profile:
         report = _load_json(args.query, "query")
         checks.extend(check_query(report, profile["query"], tolerance))
+    if args.overhead and os.path.exists(args.overhead):
+        checks.extend(check_overhead(_load_json(args.overhead, "overhead")))
     if not checks:
         raise SystemExit("check_bench: profile defines no checks")
 

@@ -258,6 +258,65 @@ def cmd_query_bench(args: argparse.Namespace) -> int:
     return 0 if all(row.parity_ok for row in rows) else 1
 
 
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Telemetry surface: build, ingest and query in-process, then report.
+
+    Enables :mod:`repro.observability`, runs a full ingest plus a query
+    workload shaped to light up every plane (one large compiled-plan batch,
+    repeated singleton lookups for the hot-edge cache), and prints either
+    the JSON document from :meth:`SketchEngine.metrics` or the Prometheus
+    text exposition of the registry.
+    """
+    from repro.observability import (
+        configure_tracing,
+        get_registry,
+        render_prometheus,
+        set_enabled,
+    )
+
+    if args.baseline and (args.sharded is not None or args.windowed is not None):
+        raise EngineError(
+            "--baseline profiles the unpartitioned Global Sketch and cannot be "
+            "combined with --sharded or --windowed"
+        )
+    set_enabled(True)
+    get_registry().reset()
+    if args.trace_file:
+        configure_tracing(args.trace_file)
+    stream = resolve_stream(args)
+    config = GSketchConfig(total_cells=args.cells, depth=args.depth, seed=args.seed)
+    builder = SketchEngine.builder().config(config)
+    if not args.baseline:
+        builder = builder.dataset(stream)
+    if args.sharded is not None:
+        builder = builder.sharded(args.sharded)
+    if args.windowed is not None:
+        builder = builder.windowed(args.windowed)
+    engine = builder.build()
+    try:
+        engine.ingest(stream, batch_size=args.batch_size)
+        engine.frozen()
+        keys = [
+            q.key for q in uniform_edge_queries(stream, args.queries, seed=args.seed + 2)
+        ]
+        estimator = engine.estimator
+        estimator.query_edges(keys)
+        # Repeated singleton lookups: the first pass misses and populates the
+        # hot-edge cache, the second hits it.
+        for _ in range(2):
+            for key in keys[: min(16, len(keys))]:
+                estimator.query_edges([key])
+        document = engine.metrics()
+    finally:
+        engine.close()
+    if args.format == "prometheus":
+        sys.stdout.write(render_prometheus())
+    else:
+        document["dataset"] = stream.name
+        _emit(document)
+    return 0
+
+
 # ---------------------------------------------------------------------- #
 # Parser
 # ---------------------------------------------------------------------- #
@@ -364,6 +423,37 @@ def build_parser() -> argparse.ArgumentParser:
     query_bench.add_argument("--rounds", type=int, default=2)
     query_bench.add_argument("--repeats", type=int, default=2)
     query_bench.set_defaults(func=cmd_query_bench)
+
+    stats = commands.add_parser(
+        "stats",
+        help="telemetry snapshot: ingest + query with observability enabled",
+    )
+    _add_dataset_arguments(stats)
+    stats.add_argument("--cells", type=int, default=DEFAULT_CELLS)
+    stats.add_argument("--depth", type=int, default=DEFAULT_DEPTH)
+    stats.add_argument("--sharded", type=int, default=None, metavar="N")
+    stats.add_argument("--windowed", type=float, default=None, metavar="LENGTH")
+    stats.add_argument(
+        "--baseline",
+        action="store_true",
+        help="Global Sketch baseline (no partitioning)",
+    )
+    stats.add_argument("--batch-size", type=int, default=8192)
+    stats.add_argument(
+        "--queries", type=int, default=256, help="query workload size to replay"
+    )
+    stats.add_argument(
+        "--format",
+        choices=("json", "prometheus"),
+        default="json",
+        help="output format (default: json)",
+    )
+    stats.add_argument(
+        "--trace-file",
+        default=None,
+        help="also append JSON-lines phase trace events to this path",
+    )
+    stats.set_defaults(func=cmd_stats)
 
     return parser
 

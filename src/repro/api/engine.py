@@ -48,6 +48,9 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.sampling import reservoir_sample
 from repro.graph.stream import GraphStream
+from repro.observability import AccuracyTracker
+from repro.observability import metrics as _obs
+from repro.observability.metrics import MetricsRegistry, get_registry
 from repro.queries.workload import QueryWorkload
 
 #: Default reservoir size when the partitioning sample is derived from a
@@ -69,6 +72,10 @@ class SketchEngine:
 
     def __init__(self, estimator: Estimator, backend: Optional[str] = None) -> None:
         self._estimator = estimator
+        # Accuracy census starts empty at construction (and therefore at
+        # snapshot restore): its exact truth covers edges ingested *through
+        # this engine*, which is the only mass it can count exactly.
+        self._accuracy = AccuracyTracker()
         if backend is None:
             try:
                 backend = backend_name(estimator)
@@ -100,13 +107,17 @@ class SketchEngine:
         batch_size: int = DEFAULT_BATCH_SIZE,
     ) -> int:
         """Ingest a whole stream in columnar blocks; returns elements ingested."""
-        return sum(
-            self._estimator.ingest_batch(batch)
-            for batch in iter_edge_batches(stream, batch_size)
-        )
+        total = 0
+        for batch in iter_edge_batches(stream, batch_size):
+            total += self.ingest_batch(batch)
+        return total
 
     def ingest_batch(self, batch: EdgeBatch | Sequence[StreamEdge]) -> int:
         """Ingest one block of stream elements; returns elements ingested."""
+        if _obs._ENABLED:
+            if not isinstance(batch, EdgeBatch):
+                batch = EdgeBatch.from_edges(batch)
+            self._accuracy.observe_batch(batch)
         return self._estimator.ingest_batch(batch)
 
     # ------------------------------------------------------------------ #
@@ -280,8 +291,140 @@ class SketchEngine:
             summary["total_frequency"] = float(total_frequency)
         return summary
 
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    @property
+    def accuracy_tracker(self) -> AccuracyTracker:
+        """The live observed-vs-bound census attached to this engine."""
+        return self._accuracy
+
+    def metrics(self) -> dict:
+        """Full telemetry snapshot: registry metrics, backend health, accuracy.
+
+        Backend health (per-table fill ratios, outlier share, plan and
+        hot-cache state) and the live accuracy report are mirrored into
+        registry gauges *before* the registry is snapshotted, so a
+        subsequent Prometheus render
+        (:func:`repro.observability.render_prometheus`) carries them too.
+        The accuracy replay issues real queries against the backend and
+        therefore shows up in the query-plane counters.
+        """
+        registry = get_registry()
+        health: Optional[dict] = None
+        snapshot_fn = getattr(self._estimator, "telemetry_snapshot", None)
+        if snapshot_fn is not None:
+            health = snapshot_fn()
+            _mirror_health(registry, self._backend, health)
+        accuracy = self._accuracy.report(self._estimator)
+        _mirror_accuracy(registry, self._backend, accuracy)
+        return {
+            "backend": self._backend,
+            "elements_processed": self.elements_processed,
+            "health": health,
+            "accuracy": accuracy,
+            "metrics": registry.snapshot(),
+        }
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"SketchEngine(backend={self._backend!r}, estimator={self._estimator!r})"
+
+
+def _mirror_tables(
+    registry: MetricsRegistry, labels: dict, tables: Iterable[dict]
+) -> None:
+    for table in tables:
+        table_labels = dict(labels)
+        table_labels["partition"] = str(table.get("partition", ""))
+        registry.gauge(
+            "repro_sketch_fill_ratio",
+            "Fraction of nonzero counter cells per sketch table.",
+            table_labels,
+        ).set(float(table.get("fill_ratio", 0.0)))
+        registry.gauge(
+            "repro_sketch_max_cell",
+            "Largest counter cell value per sketch table.",
+            table_labels,
+        ).set(float(table.get("max_cell", 0.0)))
+
+
+def _mirror_health(registry: MetricsRegistry, backend: str, health: dict) -> None:
+    """Project a backend ``telemetry_snapshot()`` onto registry gauges."""
+    labels = {"backend": backend}
+    registry.gauge(
+        "repro_backend_elements",
+        "Stream elements ingested by the backend.",
+        labels,
+    ).set(float(health.get("elements_processed", 0)))
+    outlier_share = health.get("outlier_share")
+    if outlier_share is not None:
+        registry.gauge(
+            "repro_outlier_share",
+            "Fraction of ingested elements routed to the outlier sketch.",
+            labels,
+        ).set(float(outlier_share))
+    _mirror_tables(registry, labels, health.get("tables", ()))
+    for window in health.get("windows", ()):
+        window_labels = dict(labels)
+        window_labels["window"] = str(window.get("window", ""))
+        _mirror_tables(registry, window_labels, window.get("tables", ()))
+    plan = health.get("plan")
+    if plan:
+        registry.gauge(
+            "repro_plan_generation",
+            "Ingest generation of the compiled query plan's backend.",
+            labels,
+        ).set(float(plan.get("generation", 0)))
+        registry.gauge(
+            "repro_plan_stale",
+            "1 when the compiled plan lags the backend generation.",
+            labels,
+        ).set(1.0 if plan.get("stale") else 0.0)
+    hot = health.get("hot_cache")
+    if hot:
+        for field in ("hits", "misses", "evictions", "invalidations"):
+            registry.counter(
+                f"repro_hot_cache_{field}_total",
+                f"Hot-edge cache {field} (mirrored from the always-on cache).",
+                labels,
+            ).set_total(float(hot.get(field, 0)))
+        registry.gauge(
+            "repro_hot_cache_size",
+            "Entries currently resident in the hot-edge cache.",
+            labels,
+        ).set(float(hot.get("size", 0)))
+
+
+def _mirror_accuracy(registry: MetricsRegistry, backend: str, report: dict) -> None:
+    """Project an :class:`AccuracyTracker` report onto registry gauges."""
+    labels = {"backend": backend}
+    gauges = (
+        ("repro_accuracy_samples", "Distinct edges under exact census.", "samples"),
+        ("repro_accuracy_mean_error", "Mean estimate minus truth.", "mean_error"),
+        ("repro_accuracy_max_error", "Largest estimate minus truth.", "max_error"),
+        (
+            "repro_accuracy_mean_relative_error",
+            "Mean relative overestimate across the census.",
+            "mean_relative_error",
+        ),
+        (
+            "repro_accuracy_mean_bound",
+            "Mean Equation-1 additive bound across the census.",
+            "mean_bound",
+        ),
+        (
+            "repro_accuracy_bound_violation_ratio",
+            "Fraction of census edges whose error exceeds their Eq.-1 bound.",
+            "bound_violation_ratio",
+        ),
+    )
+    for name, help_text, field in gauges:
+        registry.gauge(name, help_text, labels).set(float(report[field]))
+    registry.counter(
+        "repro_accuracy_bound_violations_total",
+        "Census edges whose error exceeds their Eq.-1 bound.",
+        labels,
+    ).set_total(float(report["bound_violations"]))
 
 
 class EngineBuilder:

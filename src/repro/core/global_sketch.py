@@ -21,6 +21,13 @@ from repro.core.gsketch import DEFAULT_BATCH_SIZE, iter_edge_batches
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.stream import GraphStream
+from repro.observability.health import sketch_health
+from repro.observability.instruments import (
+    INGEST_BATCHES,
+    INGEST_ELEMENTS,
+    INGEST_STAGE,
+)
+from repro.observability.tracing import stage_clock
 from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
@@ -73,8 +80,14 @@ class GlobalSketch(PlanServingMixin):
             batch = EdgeBatch.from_edges(list(batch))
         if len(batch) == 0:
             return 0
-        self._sketch.update_batch(batch.hashed_keys(), batch.frequencies)
+        clock = stage_clock("ingest", INGEST_STAGE)
+        keys = batch.hashed_keys()
+        clock.lap("route")
+        self._sketch.update_batch(keys, batch.frequencies)
+        clock.lap("apply")
         self._bump_generation()
+        INGEST_BATCHES.inc()
+        INGEST_ELEMENTS.inc(len(batch))
         return len(batch)
 
     def process(
@@ -181,6 +194,21 @@ class GlobalSketch(PlanServingMixin):
     def memory_cells(self) -> int:
         """Number of allocated counter cells."""
         return self._sketch.memory_cells
+
+    def telemetry_snapshot(self) -> dict:
+        """Health telemetry: table saturation and plan/cache state."""
+        elements = self.elements_processed
+        return {
+            "backend": "global",
+            "elements_processed": elements,
+            "outlier_elements": 0,
+            "outlier_share": 0.0,
+            "num_partitions": 0,
+            "memory_cells": self.memory_cells,
+            "total_frequency": float(self.total_frequency),
+            "tables": [{"partition": 0, **sketch_health(self._sketch)}],
+            **self._plan_telemetry(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -35,6 +35,13 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge, edge_key
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
+from repro.observability.health import sketch_health
+from repro.observability.instruments import (
+    INGEST_BATCHES,
+    INGEST_ELEMENTS,
+    INGEST_STAGE,
+)
+from repro.observability.tracing import stage_clock
 from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.queries.workload import QueryWorkload
@@ -310,12 +317,17 @@ class GSketch(PlanServingMixin):
         """
         if not isinstance(batch, EdgeBatch):
             batch = EdgeBatch.from_edges(list(batch))
+        clock = stage_clock("ingest", INGEST_STAGE)
         routed = self._batch_router.route(batch)
+        clock.lap("route")
         for group in routed.groups:
             self._sketch_for(group.partition).update_batch(group.keys, group.counts)
+        clock.lap("apply")
         self._elements_processed += routed.num_elements
         self._outlier_elements += routed.outlier_count
         self._bump_generation()
+        INGEST_BATCHES.inc()
+        INGEST_ELEMENTS.inc(routed.num_elements)
         return routed.num_elements
 
     def process(
@@ -540,6 +552,32 @@ class GSketch(PlanServingMixin):
             )
         )
         return summaries
+
+    def telemetry_snapshot(self) -> dict:
+        """Health telemetry: per-table saturation, outlier share, plan state.
+
+        Computed lazily (``count_nonzero`` over every counter table) — call
+        it at scrape/snapshot time, not per batch.
+        """
+        elements = self._elements_processed
+        tables = [
+            {"partition": index, **sketch_health(sketch)}
+            for index, sketch in enumerate(self._partitions)
+        ]
+        tables.append(
+            {"partition": OUTLIER_PARTITION, **sketch_health(self._outlier)}
+        )
+        return {
+            "backend": "gsketch",
+            "elements_processed": elements,
+            "outlier_elements": self._outlier_elements,
+            "outlier_share": self._outlier_elements / elements if elements else 0.0,
+            "num_partitions": self.num_partitions,
+            "memory_cells": self.memory_cells,
+            "total_frequency": float(self.total_frequency),
+            "tables": tables,
+            **self._plan_telemetry(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

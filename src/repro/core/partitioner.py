@@ -62,6 +62,8 @@ from repro.core.partition_tree import (
     PartitionTree,
 )
 from repro.graph.statistics import VertexStatistics
+from repro.observability.instruments import BUILD_STAGE
+from repro.observability.tracing import stage_clock
 
 
 def _sampled_edge_count(vertices: Sequence[Hashable], stats: VertexStatistics) -> float:
@@ -149,6 +151,7 @@ def build_partition_tree(
     if n == 0:
         return _empty_sample_tree(root_width)
 
+    clock = stage_clock("build", BUILD_STAGE)
     ids = stats.ids
     freq = stats.frequencies
     deg = stats.degrees
@@ -189,6 +192,7 @@ def build_partition_tree(
             average > 0, coefficients / np.where(average > 0, average, 1.0), 0.0
         )[order]
     coefficient_prefix = np.concatenate(([0.0], np.cumsum(coeff_over_average)))
+    clock.lap("lexsort")
 
     width_floor = config.effective_width_floor
     collision_constant = config.collision_constant
@@ -245,6 +249,7 @@ def build_partition_tree(
             else:
                 child.leaf_reason = leaf_reason
                 raw_leaves.append((child, child_lo, child_hi))
+    clock.lap("split")
 
     # ---- leaf materialization: scores from prefix-sum differences ---- #
     nominal_widths = [node.width for node, _lo, _hi in raw_leaves]
@@ -296,6 +301,7 @@ def build_partition_tree(
         int_labels=int_ids[order] if int_ids is not None else None,
         partitions=partitions,
     )
+    clock.lap("materialize")
     return tree
 
 

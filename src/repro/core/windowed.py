@@ -363,3 +363,24 @@ class WindowedGSketch:
     def estimator_for_window(self, window: int) -> GSketch | GlobalSketch:
         """The estimator serving the given window (KeyError if never opened)."""
         return self._windows[window].estimator
+
+    def telemetry_snapshot(self) -> dict:
+        """Health telemetry: per-window backend snapshots plus lifetime state.
+
+        Every opened window contributes its own backend snapshot (closed
+        windows are immutable, so their numbers are final); the lifetime
+        hot-edge cache is the windowed estimator's own.
+        """
+        windows = [
+            {"window": window, **self._windows[window].estimator.telemetry_snapshot()}
+            for window in sorted(self._windows)
+        ]
+        return {
+            "backend": "windowed",
+            "elements_processed": self._elements_processed,
+            "num_windows": self.num_windows,
+            "current_window": self._current_window,
+            "generation": self._generation,
+            "hot_cache": self._hot_cache.telemetry(),
+            "windows": windows,
+        }

@@ -55,6 +55,13 @@ from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.statistics import VertexStatistics
 from repro.graph.stream import GraphStream
+from repro.observability.health import sketch_health
+from repro.observability.instruments import (
+    INGEST_BATCHES,
+    INGEST_ELEMENTS,
+    INGEST_STAGE,
+)
+from repro.observability.tracing import span, stage_clock
 from repro.queries.plan import PlanServingMixin
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.sketches.countmin import CountMinSketch
@@ -211,6 +218,7 @@ class ShardedGSketch(PlanServingMixin):
         if not isinstance(batch, EdgeBatch):
             batch = EdgeBatch.from_edges(list(batch))
         self._ensure_started()
+        clock = stage_clock("ingest", INGEST_STAGE)
         routed = self._batch_router.route(batch)
         if not routed.groups:
             return 0
@@ -218,6 +226,7 @@ class ShardedGSketch(PlanServingMixin):
         for group in routed.groups:
             shard_index = int(self._shard_lookup[group.partition])
             work.setdefault(shard_index, []).append(group)
+        clock.lap("route")
         dispatch = getattr(self._executor, "apply_async", None)
         try:
             if dispatch is not None:
@@ -230,10 +239,13 @@ class ShardedGSketch(PlanServingMixin):
             # inconsistent counters); a checkpoint restore recovers.
             self._sync_failed = True
             raise
+        clock.lap("dispatch")
         self._elements_processed += routed.num_elements
         self._outlier_elements += routed.outlier_count
         self._stale = True
         self._bump_generation()
+        INGEST_BATCHES.inc()
+        INGEST_ELEMENTS.inc(routed.num_elements)
         return routed.num_elements
 
     def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
@@ -264,7 +276,8 @@ class ShardedGSketch(PlanServingMixin):
                 "resume serving from known-good state."
             )
         if self._stale:
-            self._executor.sync(self._shards)
+            with span("ingest", "flush", INGEST_STAGE["flush"]):
+                self._executor.sync(self._shards)
             self._stale = False
 
     def flush(self) -> None:
@@ -592,6 +605,45 @@ class ShardedGSketch(PlanServingMixin):
     def memory_cells(self) -> int:
         """Allocated counter cells across all shards."""
         return sum(shard.memory_cells for shard in self._shards)
+
+    def telemetry_snapshot(self) -> dict:
+        """Health telemetry: per-partition saturation across the shards.
+
+        Drains the ingest pipeline first so the reported counters are final;
+        like the other backends', this is a scrape-time (not per-batch)
+        surface.
+        """
+        self._synchronize()
+        elements = self._elements_processed
+        tables = []
+        for partition in range(self.plan.num_partitions):
+            shard_index = int(self._shard_lookup[partition])
+            tables.append(
+                {
+                    "partition": partition,
+                    "shard": shard_index,
+                    **sketch_health(self._sketch_for_partition(partition)),
+                }
+            )
+        tables.append(
+            {
+                "partition": OUTLIER_PARTITION,
+                "shard": int(self._shard_lookup[OUTLIER_PARTITION]),
+                **sketch_health(self._sketch_for_partition(OUTLIER_PARTITION)),
+            }
+        )
+        return {
+            "backend": "sharded",
+            "elements_processed": elements,
+            "outlier_elements": self._outlier_elements,
+            "outlier_share": self._outlier_elements / elements if elements else 0.0,
+            "num_partitions": self.num_partitions,
+            "num_shards": self.num_shards,
+            "memory_cells": self.memory_cells,
+            "total_frequency": float(self.total_frequency),
+            "tables": tables,
+            **self._plan_telemetry(),
+        }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

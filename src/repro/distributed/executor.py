@@ -31,10 +31,13 @@ import concurrent.futures
 import multiprocessing
 import time
 import traceback
+import warnings
 from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Union
 
 from repro.core.batch_router import PartitionGroup
 from repro.distributed.shard import SketchShard
+from repro.observability.instruments import INGEST_STAGE
+from repro.observability.tracing import span
 
 
 class ShardExecutionError(RuntimeError):
@@ -210,8 +213,9 @@ class SequentialExecutor:
         shards: Sequence[SketchShard],
         work: Mapping[int, Sequence[PartitionGroup]],
     ) -> None:
-        for shard_index in sorted(work):
-            shards[shard_index].apply(work[shard_index])
+        with span("ingest", "apply", INGEST_STAGE["apply"], executor="sequential"):
+            for shard_index in sorted(work):
+                shards[shard_index].apply(work[shard_index])
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         pass
@@ -247,13 +251,14 @@ class ThreadPoolExecutor:
         shards: Sequence[SketchShard],
         work: Mapping[int, Sequence[PartitionGroup]],
     ) -> None:
-        pool = self._ensure_pool()
-        futures = [
-            pool.submit(shards[shard_index].apply, groups)
-            for shard_index, groups in sorted(work.items())
-        ]
-        for future in futures:
-            future.result()
+        with span("ingest", "apply", INGEST_STAGE["apply"], executor="threads"):
+            pool = self._ensure_pool()
+            futures = [
+                pool.submit(shards[shard_index].apply, groups)
+                for shard_index, groups in sorted(work.items())
+            ]
+            for future in futures:
+                future.result()
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         pass
@@ -287,7 +292,16 @@ class _TimedShard:
 
 
 class InstrumentedExecutor:
-    """Timing decorator around an in-process :class:`ShardExecutor`.
+    """Deprecated timing decorator around an in-process :class:`ShardExecutor`.
+
+    .. deprecated::
+        The telemetry plane (:mod:`repro.observability`) supersedes this
+        ad-hoc breakdown: the executors themselves now report their apply
+        wall time into ``repro_ingest_stage_seconds{stage="apply"}``, and
+        the throughput benchmark reads its breakdown from the registry.
+        This shim keeps the old attributes working (and mirrors its wall
+        time into the registry) for one deprecation cycle; see the README
+        deprecation table.
 
     Records, across all batches,
 
@@ -295,17 +309,18 @@ class InstrumentedExecutor:
       :meth:`apply` (dispatch + execution + join), and
     * ``shard_busy_seconds`` — per-shard time spent actually applying groups.
 
-    The gap between the ingest wall time and ``apply_wall_seconds`` is the
-    coordinator-resident work (columnarization, hashing, routing, grouping),
-    which runs serially regardless of the shard count — the breakdown the
-    throughput benchmark uses to explain why more shards can be slower.
-
     Only meaningful for in-process backends (`SequentialExecutor`,
     `ThreadPoolExecutor`): :class:`ProcessPoolExecutor` applies work in worker
     processes, where the proxies' timers never run.
     """
 
     def __init__(self, inner: ShardExecutor) -> None:
+        warnings.warn(
+            "InstrumentedExecutor is deprecated; enable repro.observability "
+            "and read repro_ingest_stage_seconds{stage='apply'} instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
         self.inner = inner
         self.shard_busy_seconds: Dict[int, float] = {}
         self.apply_wall_seconds = 0.0
@@ -324,8 +339,12 @@ class InstrumentedExecutor:
         proxies = [_TimedShard(shard, self.shard_busy_seconds) for shard in shards]
         start = time.perf_counter()
         self.inner.apply(proxies, work)
-        self.apply_wall_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.apply_wall_seconds += elapsed
         self.batches += 1
+        # No registry mirroring here: the wrapped executor's own apply span
+        # already lands in repro_ingest_stage_seconds{stage="apply"}, so a
+        # mirror would double-count legacy users' wall time.
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         self.inner.sync(shards)
@@ -424,11 +443,12 @@ class ProcessPoolExecutor:
     ) -> None:
         if not self._started:
             self.start(shards)
-        involved = sorted(work)
-        for shard_index in involved:
-            self._send(shard_index, ("apply", list(work[shard_index])))
-        for shard_index in involved:
-            self._expect(shard_index, "ok")
+        with span("ingest", "apply", INGEST_STAGE["apply"], executor="processes"):
+            involved = sorted(work)
+            for shard_index in involved:
+                self._send(shard_index, ("apply", list(work[shard_index])))
+            for shard_index in involved:
+                self._expect(shard_index, "ok")
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         if not self._started:

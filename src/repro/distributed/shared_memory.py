@@ -77,8 +77,25 @@ from repro.distributed.executor import (
     send_to_worker,
 )
 from repro.distributed.shard import SketchShard
+from repro.observability import metrics as _obs
+from repro.observability.tracing import get_recorder
 from repro.sketches.countmin import CountMinSketch
 from repro.sketches.hashing import gathered_hash_columns
+
+# Pipelined dispatch cannot be wrapped in coordinator-side stage spans (the
+# apply happens later, in a worker), so the executor reports its own running
+# totals: dispatch wall, backpressure stalls, and drained batches.
+_SHM_DISPATCH_SECONDS = _obs.REGISTRY.counter(
+    "repro_shared_dispatch_seconds_total",
+    "Shared-memory executor: wall seconds spent dispatching batches",
+)
+_SHM_STALL_SECONDS = _obs.REGISTRY.counter(
+    "repro_shared_stall_seconds_total",
+    "Shared-memory executor: wall seconds stalled on backpressure or drains",
+)
+_SHM_BATCHES = _obs.REGISTRY.counter(
+    "repro_shared_batches_total", "Shared-memory executor: batches dispatched"
+)
 
 #: Default number of batches allowed in flight per shard (double buffering).
 DEFAULT_MAX_PENDING = 2
@@ -528,9 +545,17 @@ class SharedMemoryExecutor:
             # not leave totals accounting for counters that never shipped.
             shards[shard_index].credit_groups(groups)
             self._outstanding[shard_index] += 1
+        dispatched = time.perf_counter() - begin - stalled
         self.batches += 1
         self.stall_seconds += stalled
-        self.dispatch_seconds += time.perf_counter() - begin - stalled
+        self.dispatch_seconds += dispatched
+        if _obs._ENABLED:
+            _SHM_BATCHES.inc()
+            _SHM_DISPATCH_SECONDS.inc(dispatched)
+            _SHM_STALL_SECONDS.inc(stalled)
+            get_recorder().record(
+                "ingest", "shm_dispatch", dispatched, stalled=stalled
+            )
 
     def apply(
         self,
@@ -554,7 +579,11 @@ class SharedMemoryExecutor:
         begin = time.perf_counter()
         for shard_index in range(len(self._outstanding)):
             self._drain(shard_index)
-        self.stall_seconds += time.perf_counter() - begin
+        drained = time.perf_counter() - begin
+        self.stall_seconds += drained
+        if _obs._ENABLED:
+            _SHM_STALL_SECONDS.inc(drained)
+            get_recorder().record("ingest", "shm_drain", drained)
 
     def _dispatch(self, shard_index: int, groups: Sequence[PartitionGroup]) -> None:
         """Ship one shard's routed columns: slot ids, uint64 keys, counts.

@@ -1,0 +1,259 @@
+"""Telemetry overhead guard: disabled hooks must stay under 2% of wall time.
+
+The observability plane promises *near-zero disabled overhead*: every hot
+path hook funnels through one module-level flag check, and the timing
+helpers hand back a shared no-op singleton when telemetry is off.  This
+runner turns that promise into a gated artifact:
+
+* it times the real workload — a 100k-edge ingest plus batch-1024 query
+  passes — **with telemetry disabled**, the configuration every production
+  ingest runs in;
+* it calibrates the disabled cost of each hook primitive (a gated
+  ``Counter.inc``, a gated ``Histogram.observe``, a ``stage_clock`` call
+  that returns the no-op singleton, a no-op ``lap``) by timing tight loops;
+* it multiplies the per-primitive costs by the hook counts the workload
+  actually executes (one stage clock + two laps + three gated counter-style
+  checks per ingest batch; one stage clock + three laps + three checks per
+  compiled-plan query batch) and asserts the estimated total stays under
+  :data:`MAX_DISABLED_OVERHEAD` of the disabled wall time.
+
+The calibration route is deliberate: the hook cost itself is nanoseconds,
+far below run-to-run wall-time noise, so subtracting two noisy wall times
+would gate nothing.  The *enabled* overhead (full wall-time ratio, noise
+and all) is reported as an advisory alongside, and
+``experiments/check_bench.py --overhead`` prints both as advisory rows.
+
+Run it from the repo root::
+
+    python experiments/overhead_bench.py            # full run (100k edges)
+    python experiments/overhead_bench.py --quick    # CI smoke (10k edges)
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import sys
+import time
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.api.engine import SketchEngine
+from repro.core.config import GSketchConfig
+from repro.datasets.zipf import zipf_stream
+from repro.experiments.query_bench import build_query_workload
+from repro.graph.sampling import reservoir_sample
+from repro.observability import metrics as obs_metrics
+from repro.observability.instruments import INGEST_BATCHES, INGEST_STAGE
+from repro.observability.metrics import NOOP_CLOCK
+from repro.observability.tracing import stage_clock
+
+DEFAULT_EDGES = 100_000
+QUICK_EDGES = 10_000
+DEFAULT_QUERY_BATCH = 1_024
+DEFAULT_QUERIES = 4_096
+DEFAULT_OUTPUT = "BENCH_overhead.json"
+
+#: The gate: estimated disabled-hook cost as a fraction of disabled wall time.
+MAX_DISABLED_OVERHEAD = 0.02
+
+#: Disabled hook anatomy per ingest batch on the gsketch backend: one
+#: ``stage_clock`` call (returns the no-op singleton), two no-op ``lap``
+#: calls, and three gated checks (two counter ``inc`` + the engine facade's
+#: enabled test before the accuracy census).
+INGEST_HOOKS = {"stage_clock": 1, "lap": 2, "gated_check": 3}
+
+#: Per compiled-plan query batch: the ``_planned_estimates`` wrapper's
+#: enabled test, one ``stage_clock``, three laps (hash/route/gather) and two
+#: gated counter increments.
+QUERY_HOOKS = {"stage_clock": 1, "lap": 3, "gated_check": 3}
+
+
+def _time_loop(fn: Callable[[], object], iterations: int) -> float:
+    """Mean seconds per call over a tight loop (loop overhead included —
+    a conservative overestimate of the hook cost)."""
+    start = time.perf_counter()
+    for _ in range(iterations):
+        fn()
+    return (time.perf_counter() - start) / iterations
+
+
+def calibrate_primitives(iterations: int) -> Dict[str, float]:
+    """Per-call cost (seconds) of each disabled hook primitive."""
+    assert not obs_metrics.enabled(), "calibration must run with telemetry off"
+    histogram = INGEST_STAGE["route"]
+    return {
+        "gated_check": _time_loop(INGEST_BATCHES.inc, iterations),
+        "observe": _time_loop(lambda: histogram.observe(0.0), iterations),
+        "stage_clock": _time_loop(
+            lambda: stage_clock("ingest", INGEST_STAGE), iterations
+        ),
+        "lap": _time_loop(lambda: NOOP_CLOCK.lap("route"), iterations),
+    }
+
+
+def _hook_seconds(hooks: Dict[str, int], costs: Dict[str, float]) -> float:
+    return sum(count * costs[name] for name, count in hooks.items())
+
+
+def run_overhead_bench(
+    num_edges: int = DEFAULT_EDGES,
+    batch_size: int = 8192,
+    query_batch: int = DEFAULT_QUERY_BATCH,
+    num_queries: int = DEFAULT_QUERIES,
+    rounds: int = 4,
+    total_cells: int = 60_000,
+    depth: int = 4,
+    sample_size: int = 5_000,
+    seed: int = 7,
+    calibration_iterations: int = 200_000,
+) -> Dict[str, object]:
+    """Measure both telemetry states on the real workload; gate the disabled one."""
+    config = GSketchConfig(total_cells=total_cells, depth=depth, seed=seed)
+    stream = zipf_stream(num_edges, seed=seed)
+    stream.to_batch()
+    sample = reservoir_sample(stream, min(sample_size, len(stream)), seed=seed)
+    keys = build_query_workload(stream, num_queries, seed=seed + 2)
+    batches = [
+        list(keys[start : start + query_batch])
+        for start in range(0, len(keys), query_batch)
+    ]
+
+    def measure(enabled: bool) -> Dict[str, float]:
+        obs_metrics.set_enabled(enabled)
+        try:
+            engine = (
+                SketchEngine.builder()
+                .config(config)
+                .sample(sample)
+                .stream_size_hint(len(stream))
+                .build()
+            )
+            start = time.perf_counter()
+            engine.ingest(stream, batch_size=batch_size)
+            ingest_seconds = time.perf_counter() - start
+            engine.frozen()
+            estimator = engine.estimator
+            for batch in batches:  # warm-up: plan compile + first-touch fills
+                estimator.query_edges(batch)
+            start = time.perf_counter()
+            for _ in range(rounds):
+                for batch in batches:
+                    estimator.query_edges(batch)
+            query_seconds = time.perf_counter() - start
+        finally:
+            obs_metrics.set_enabled(False)
+        return {"ingest_seconds": ingest_seconds, "query_seconds": query_seconds}
+
+    disabled = measure(False)
+    enabled = measure(True)
+    costs = calibrate_primitives(calibration_iterations)
+
+    ingest_batches = math.ceil(num_edges / batch_size)
+    query_batches = len(batches) * rounds
+    hook_seconds = ingest_batches * _hook_seconds(
+        INGEST_HOOKS, costs
+    ) + query_batches * _hook_seconds(QUERY_HOOKS, costs)
+    disabled_wall = disabled["ingest_seconds"] + disabled["query_seconds"]
+    disabled_ratio = hook_seconds / disabled_wall if disabled_wall > 0 else 0.0
+    enabled_wall = enabled["ingest_seconds"] + enabled["query_seconds"]
+
+    return {
+        "benchmark": "telemetry-overhead",
+        "generated_at": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "config": {
+            "num_edges": num_edges,
+            "batch_size": batch_size,
+            "query_batch": query_batch,
+            "num_queries": len(keys),
+            "rounds": rounds,
+            "total_cells": total_cells,
+            "depth": depth,
+            "seed": seed,
+            "calibration_iterations": calibration_iterations,
+            "methodology": "disabled-hook cost = hook counts x calibrated "
+            "per-primitive disabled cost, as a fraction of disabled wall "
+            "time; enabled ratio is advisory (wall-time noise)",
+        },
+        "disabled": {k: round(v, 6) for k, v in disabled.items()},
+        "enabled": {k: round(v, 6) for k, v in enabled.items()},
+        "primitives_ns": {name: cost * 1e9 for name, cost in costs.items()},
+        "hook_counts": {
+            "ingest_batches": ingest_batches,
+            "query_batches": query_batches,
+            "per_ingest_batch": INGEST_HOOKS,
+            "per_query_batch": QUERY_HOOKS,
+        },
+        "estimated_disabled_hook_seconds": hook_seconds,
+        "disabled_overhead_ratio": disabled_ratio,
+        "max_disabled_overhead": MAX_DISABLED_OVERHEAD,
+        "enabled_overhead_ratio": (
+            enabled_wall / disabled_wall - 1.0 if disabled_wall > 0 else 0.0
+        ),
+        "ok": bool(disabled_ratio < MAX_DISABLED_OVERHEAD),
+    }
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--edges",
+        type=int,
+        default=DEFAULT_EDGES,
+        help=f"stream length (default {DEFAULT_EDGES})",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_EDGES} edges, lighter calibration",
+    )
+    parser.add_argument("--batch-size", type=int, default=8192)
+    parser.add_argument(
+        "--query-batch",
+        type=int,
+        default=DEFAULT_QUERY_BATCH,
+        help=f"query batch size (default {DEFAULT_QUERY_BATCH})",
+    )
+    parser.add_argument(
+        "--output",
+        default=DEFAULT_OUTPUT,
+        help=f"report path (default {DEFAULT_OUTPUT})",
+    )
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+
+    report = run_overhead_bench(
+        num_edges=QUICK_EDGES if args.quick else args.edges,
+        batch_size=args.batch_size,
+        query_batch=args.query_batch,
+        seed=args.seed,
+        calibration_iterations=50_000 if args.quick else 200_000,
+    )
+
+    with open(args.output, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2)
+        handle.write("\n")
+
+    print(f"wrote {args.output}")
+    lines: List[str] = [
+        f"disabled wall: ingest {report['disabled']['ingest_seconds']:.3f}s, "
+        f"query {report['disabled']['query_seconds']:.3f}s",
+        f"estimated disabled hook cost: "
+        f"{report['estimated_disabled_hook_seconds'] * 1e3:.4f}ms "
+        f"({report['disabled_overhead_ratio']:.4%} of wall, "
+        f"gate < {MAX_DISABLED_OVERHEAD:.0%})",
+        f"enabled overhead (advisory): {report['enabled_overhead_ratio']:+.2%}",
+    ]
+    print("\n".join(lines))
+    if not report["ok"]:
+        print(
+            "overhead_bench: disabled telemetry hooks exceed "
+            f"{MAX_DISABLED_OVERHEAD:.0%} of wall time",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

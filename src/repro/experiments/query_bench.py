@@ -41,6 +41,8 @@ from repro.distributed.coordinator import ShardedGSketch
 from repro.graph.edge import EdgeKey
 from repro.graph.sampling import reservoir_sample
 from repro.graph.stream import GraphStream
+from repro.observability import metrics as obs_metrics
+from repro.observability.exposition import registry_excerpt
 from repro.queries.workload import zipf_edge_queries
 
 DEFAULT_EDGES = 100_000
@@ -219,18 +221,30 @@ def run_query_bench(
     keys = build_query_workload(stream, num_queries, seed=seed + 2)
 
     results: List[QueryBenchResult] = []
-    for backend in backends:
-        estimator = build_backend(backend, stream, sample, config)
-        try:
-            results.extend(
-                measure_query_paths(
-                    estimator, backend, keys, batch_sizes, rounds, repeats
+    hot_caches: Dict[str, object] = {}
+    # Telemetry stays on through the timed passes: the committed floors are
+    # plan-vs-direct ratios of the *instrumented* query plane, so the gate
+    # proves the instrumentation is affordable, not just present.
+    was_enabled = obs_metrics.enabled()
+    obs_metrics.set_enabled(True)
+    try:
+        for backend in backends:
+            estimator = build_backend(backend, stream, sample, config)
+            try:
+                results.extend(
+                    measure_query_paths(
+                        estimator, backend, keys, batch_sizes, rounds, repeats
+                    )
                 )
-            )
-        finally:
-            close = getattr(estimator, "close", None)
-            if close is not None:
-                close()
+                cache = getattr(estimator, "_hot_cache", None)
+                if cache is not None:
+                    hot_caches[backend] = cache.telemetry()
+            finally:
+                close = getattr(estimator, "close", None)
+                if close is not None:
+                    close()
+    finally:
+        obs_metrics.set_enabled(was_enabled)
 
     return {
         "benchmark": "query-throughput",
@@ -253,6 +267,12 @@ def run_query_bench(
         },
         "parity_ok": bool(all(row.parity_ok for row in results)),
         "results": [asdict(row) for row in results],
+        # Query-plane registry excerpt (accumulated over every backend's
+        # timed passes) plus each backend's hot-edge cache counters.
+        "telemetry": {
+            "query_plane": registry_excerpt(("repro_query_", "repro_plan_")),
+            "hot_cache": hot_caches,
+        },
     }
 
 

@@ -42,12 +42,14 @@ from repro.core.gsketch import GSketch
 from repro.datasets.rmat import rmat_stream
 from repro.datasets.zipf import zipf_stream
 from repro.distributed import (
-    InstrumentedExecutor,
     SequentialExecutor,
     ThreadPoolExecutor,
     make_executor,
 )
 from repro.graph.sampling import reservoir_sample
+from repro.observability import metrics as obs_metrics
+from repro.observability.exposition import registry_excerpt
+from repro.observability.instruments import INGEST_BATCHES, INGEST_STAGE
 
 DEFAULT_EDGES = 100_000
 QUICK_EDGES = 10_000
@@ -60,11 +62,13 @@ class ThroughputResult:
     """One (dataset, mode) measurement.
 
     ``breakdown`` (sharded modes only) decomposes the ingest wall time.  For
-    in-process executors: ``coordinator_seconds`` is the serial
-    hash/route/group work on the coordinator thread, ``apply_wall_seconds``
-    the time spent dispatching to and waiting on shard workers, and
-    ``shard_busy_seconds`` the per-shard time actually applying counter
-    updates.  For the shared-memory executor (``pipelined: true``):
+    in-process executors the numbers are deltas of the
+    :mod:`repro.observability` ingest-stage histograms (the coordinator's
+    route/dispatch laps and the executor's apply spans):
+    ``coordinator_seconds`` is the serial hash/route/group work on the
+    coordinator thread, ``apply_wall_seconds`` the time spent dispatching to
+    and waiting on shard workers, and ``route_seconds`` the routing slice of
+    the serial work.  For the shared-memory executor (``pipelined: true``):
     ``dispatch_seconds`` is column assembly + pipe sends,
     ``stall_seconds`` the time the coordinator blocked on worker
     acknowledgements (backpressure + final drain), and
@@ -199,7 +203,11 @@ def run_throughput(
 
         # --- sharded (in-process executors) ---------------------------- #
         def measure_sharded(num_shards: int):
-            executor = InstrumentedExecutor(
+            # Breakdown comes from registry deltas of the ingest-stage
+            # histograms (route/dispatch laps on the coordinator, apply spans
+            # in the executor) — the successor of the deprecated
+            # InstrumentedExecutor wrapper, measured on the real executor.
+            executor = (
                 SequentialExecutor()
                 if num_shards == 1
                 else ThreadPoolExecutor(max_workers=num_shards)
@@ -212,19 +220,28 @@ def run_throughput(
                 .sharded(num_shards, executor=executor)
                 .build()
             )
-            seconds = _time_mode(lambda: engine.ingest(stream, batch_size=batch_size))
+            before_stage = {name: h.sum for name, h in INGEST_STAGE.items()}
+            before_batches = INGEST_BATCHES.value
+            was_enabled = obs_metrics.enabled()
+            obs_metrics.set_enabled(True)
+            try:
+                seconds = _time_mode(
+                    lambda: engine.ingest(stream, batch_size=batch_size)
+                )
+            finally:
+                obs_metrics.set_enabled(was_enabled)
             check_parity(engine)
             engine.close()
-            busy = dict(sorted(executor.shard_busy_seconds.items()))
+            stage = {
+                name: INGEST_STAGE[name].sum - before_stage[name]
+                for name in INGEST_STAGE
+            }
             breakdown = {
-                "coordinator_seconds": round(
-                    max(0.0, seconds - executor.apply_wall_seconds), 6
-                ),
-                "apply_wall_seconds": round(executor.apply_wall_seconds, 6),
-                "shard_busy_seconds": {
-                    str(index): round(value, 6) for index, value in busy.items()
-                },
-                "batches": executor.batches,
+                "coordinator_seconds": round(max(0.0, seconds - stage["dispatch"]), 6),
+                "apply_wall_seconds": round(stage["apply"], 6),
+                "route_seconds": round(stage["route"], 6),
+                "batches": int(INGEST_BATCHES.value - before_batches),
+                "source": "repro_ingest_stage_seconds registry deltas",
             }
             return seconds, breakdown
 
@@ -308,6 +325,9 @@ def run_throughput(
         },
         "parity_ok": bool(parity_ok),
         "results": [asdict(r) for r in results],
+        # Ingest-plane registry excerpt, accumulated over the instrumented
+        # (sharded in-process) runs above — bucket arrays elided.
+        "telemetry": registry_excerpt(("repro_ingest_", "repro_shared_")),
     }
 
 

@@ -1,0 +1,74 @@
+"""repro.observability — the engine telemetry plane.
+
+Four pieces, layered so the hot paths stay fast:
+
+* :mod:`~repro.observability.metrics` — a lock-cheap registry of counters,
+  gauges and fixed-bucket latency histograms, behind one module-level
+  enable flag (:func:`set_enabled`); disabled hooks cost a single flag
+  check.
+* :mod:`~repro.observability.tracing` — span-style phase tracing
+  (:func:`span`, :func:`stage_clock`) feeding both the latency histograms
+  and a JSON-lines trace ring/file.
+* :mod:`~repro.observability.health` / :mod:`~repro.observability.accuracy`
+  — sketch saturation summaries and a live observed-vs-Equation-1 error
+  tracker replayed through ``query_edges``.
+* :mod:`~repro.observability.exposition` — JSON and Prometheus text
+  renderings, surfaced by ``SketchEngine.metrics()`` and
+  ``python -m repro stats``.
+
+Telemetry is **off by default**; enable it with::
+
+    from repro.observability import set_enabled
+    set_enabled(True)
+"""
+
+from repro.observability.accuracy import DEFAULT_TRACKED_EDGES, AccuracyTracker
+from repro.observability.exposition import (
+    registry_excerpt,
+    render_json,
+    render_prometheus,
+)
+from repro.observability.health import sketch_health
+from repro.observability.metrics import (
+    DEFAULT_BUCKET_BOUNDS,
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    enabled,
+    get_registry,
+    set_enabled,
+)
+from repro.observability.tracing import (
+    TraceRecorder,
+    configure_tracing,
+    get_recorder,
+    span,
+    stage_clock,
+    trace_events,
+)
+
+__all__ = [
+    "AccuracyTracker",
+    "Counter",
+    "DEFAULT_BUCKET_BOUNDS",
+    "DEFAULT_TRACKED_EDGES",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "TraceRecorder",
+    "configure_tracing",
+    "enabled",
+    "get_recorder",
+    "get_registry",
+    "registry_excerpt",
+    "render_json",
+    "render_prometheus",
+    "set_enabled",
+    "sketch_health",
+    "span",
+    "stage_clock",
+    "trace_events",
+]

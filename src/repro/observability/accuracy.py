@@ -1,0 +1,175 @@
+"""Live observed-vs-bound accuracy telemetry for estimator backends.
+
+A Count-Min estimate carries the Equation-1 guarantee
+``truth <= estimate <= truth + additive_bound`` with probability
+``1 - e^-depth``; whether a *running* system actually enjoys that margin is
+invisible without ground truth.  :class:`AccuracyTracker` supplies it
+cheaply: it exactly counts the first ``capacity`` **distinct** edge keys it
+sees (admission at first occurrence makes the tally exact, unlike a
+reservoir of occurrences, which can only lower-bound a key's frequency) and
+replays their representative edges through ``query_edges`` /
+``confidence_batch`` on demand to report live error and ε-bound violation
+rates.
+
+Steady state costs one ``searchsorted`` + ``add.at`` pair per ingested
+batch; the Python-level admission work is bounded by ``capacity`` over the
+tracker's lifetime.  The tracker observes batches only while telemetry is
+enabled, and its truth covers edges ingested through the attaching engine —
+mass restored from a snapshot predates it and would inflate the reported
+error, so engines restart the tracker on restore.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from repro.graph.batch import EdgeBatch
+
+__all__ = ["AccuracyTracker", "DEFAULT_TRACKED_EDGES"]
+
+DEFAULT_TRACKED_EDGES = 1_024
+
+#: Slack added to the additive bound before declaring a violation, absorbing
+#: float accumulation order differences between truth and sketch counters.
+_VIOLATION_EPS = 1e-9
+
+
+class AccuracyTracker:
+    """Exact frequency census over the first ``capacity`` distinct edge keys."""
+
+    def __init__(self, capacity: int = DEFAULT_TRACKED_EDGES) -> None:
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self._capacity = capacity
+        self._keys = np.empty(0, dtype=np.uint64)
+        self._counts = np.empty(0, dtype=np.float64)
+        self._edges: List[Tuple] = []  # representative (source, target) per key
+        self._full = False
+        self._elements_observed = 0
+
+    # ------------------------------------------------------------------ #
+    # Ingest-side observation
+    # ------------------------------------------------------------------ #
+    def observe_batch(self, batch: EdgeBatch) -> None:
+        """Fold one ingested batch into the census."""
+        n = len(batch)
+        if n == 0:
+            return
+        self._elements_observed += n
+        keys = batch.hashed_keys()
+        freqs = batch.frequencies
+        if self._full:
+            self._accumulate(keys, freqs)
+            return
+        # Admission phase: collapse the batch to unique keys so the Python
+        # work below touches each distinct key once.
+        uniq, first_index = np.unique(keys, return_index=True)
+        sums = np.zeros(uniq.size, dtype=np.float64)
+        np.add.at(sums, np.searchsorted(uniq, keys), freqs)
+        if self._keys.size:
+            pos = np.minimum(np.searchsorted(self._keys, uniq), self._keys.size - 1)
+            tracked = self._keys[pos] == uniq
+            if tracked.any():
+                np.add.at(self._counts, pos[tracked], sums[tracked])
+        else:
+            tracked = np.zeros(uniq.size, dtype=bool)
+        room = self._capacity - self._keys.size
+        if room > 0:
+            new_index = np.nonzero(~tracked)[0][:room]
+            if new_index.size:
+                self._admit(batch, uniq, sums, first_index, new_index)
+        if self._keys.size >= self._capacity:
+            self._full = True
+
+    def _accumulate(self, keys: np.ndarray, freqs: np.ndarray) -> None:
+        pos = np.minimum(np.searchsorted(self._keys, keys), self._keys.size - 1)
+        mask = self._keys[pos] == keys
+        if mask.any():
+            np.add.at(self._counts, pos[mask], freqs[mask])
+
+    def _admit(
+        self,
+        batch: EdgeBatch,
+        uniq: np.ndarray,
+        sums: np.ndarray,
+        first_index: np.ndarray,
+        new_index: np.ndarray,
+    ) -> None:
+        new_edges = []
+        for i in new_index:
+            j = int(first_index[i])
+            source = batch.sources[j]
+            target = batch.targets[j]
+            source = int(source) if isinstance(source, np.integer) else source
+            target = int(target) if isinstance(target, np.integer) else target
+            new_edges.append((source, target))
+        all_keys = np.concatenate([self._keys, uniq[new_index]])
+        all_counts = np.concatenate([self._counts, sums[new_index]])
+        all_edges = self._edges + new_edges
+        order = np.argsort(all_keys, kind="stable")
+        self._keys = all_keys[order]
+        self._counts = all_counts[order]
+        self._edges = [all_edges[i] for i in order]
+
+    # ------------------------------------------------------------------ #
+    # Query-side replay
+    # ------------------------------------------------------------------ #
+    @property
+    def samples(self) -> int:
+        """Number of distinct edge keys under exact census."""
+        return self._keys.size
+
+    @property
+    def elements_observed(self) -> int:
+        """Stream elements folded into the census so far."""
+        return self._elements_observed
+
+    @property
+    def tracked_mass(self) -> float:
+        """Total exact frequency mass of the tracked keys."""
+        return float(self._counts.sum())
+
+    def report(self, estimator) -> Dict[str, object]:
+        """Replay tracked edges through the estimator; compare to Eq. 1.
+
+        A *violation* is an estimate exceeding its exact count by more than
+        the estimator's own additive bound — the event Equation 1 promises
+        happens with probability at most ``e^-depth`` per query.
+        """
+        if not self._keys.size:
+            return {
+                "samples": 0,
+                "elements_observed": self._elements_observed,
+                "tracked_mass": 0.0,
+                "mean_error": 0.0,
+                "max_error": 0.0,
+                "mean_relative_error": 0.0,
+                "mean_bound": 0.0,
+                "bound_violations": 0,
+                "bound_violation_ratio": 0.0,
+                "underestimates": 0,
+            }
+        estimates = np.asarray(estimator.query_edges(self._edges), dtype=np.float64)
+        intervals = estimator.confidence_batch(self._edges)
+        bounds = np.asarray(
+            [interval.additive_bound for interval in intervals], dtype=np.float64
+        )
+        errors = estimates - self._counts
+        violations = errors > bounds + _VIOLATION_EPS
+        denom = np.maximum(self._counts, 1.0)
+        return {
+            "samples": int(self._keys.size),
+            "elements_observed": self._elements_observed,
+            "tracked_mass": float(self._counts.sum()),
+            "mean_error": float(errors.mean()),
+            "max_error": float(errors.max()),
+            "mean_relative_error": float((errors / denom).mean()),
+            "mean_bound": float(bounds.mean()),
+            "bound_violations": int(violations.sum()),
+            "bound_violation_ratio": float(violations.mean()),
+            # Count-Min never underestimates; a nonzero value here flags a
+            # truth mismatch (e.g. mass ingested before the tracker attached).
+            "underestimates": int((errors < -_VIOLATION_EPS).sum()),
+        }

@@ -1,0 +1,108 @@
+"""Exposition formats for the metrics registry: JSON and Prometheus text.
+
+The Prometheus renderer implements the text exposition format (version
+0.0.4) without any third-party dependency: one ``# HELP`` / ``# TYPE`` pair
+per family, label values escaped (``\\``, ``\"``, newline), histograms
+expanded into cumulative ``_bucket{le=...}`` series terminated by ``+Inf``
+plus ``_sum`` and ``_count``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.observability.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+)
+
+__all__ = [
+    "render_json",
+    "render_prometheus",
+    "registry_excerpt",
+    "escape_label_value",
+    "escape_help",
+]
+
+
+def escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def escape_help(text: str) -> str:
+    """Escape a HELP string per the Prometheus text format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
+    if value != value:  # NaN
+        return "NaN"
+    formatted = repr(float(value))
+    return formatted[:-2] if formatted.endswith(".0") else formatted
+
+
+def _label_block(items, extra: str = "") -> str:
+    parts = [f'{key}="{escape_label_value(value)}"' for key, value in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def render_prometheus(registry: Optional[MetricsRegistry] = None) -> str:
+    """The registry's current state in Prometheus text exposition format."""
+    registry = registry if registry is not None else get_registry()
+    lines: List[str] = []
+    for name, metrics in registry.families():
+        first = metrics[0]
+        help_text = next((m.help for m in metrics if m.help), "")  # type: ignore[attr-defined]
+        if help_text:
+            lines.append(f"# HELP {name} {escape_help(help_text)}")
+        lines.append(f"# TYPE {name} {first.kind}")  # type: ignore[attr-defined]
+        for metric in metrics:
+            if isinstance(metric, Histogram):
+                for bound, cumulative in metric.cumulative_buckets():
+                    le = _label_block(
+                        metric.labels, f'le="{_format_value(bound)}"'
+                    )
+                    lines.append(f"{name}_bucket{le} {cumulative}")
+                labels = _label_block(metric.labels)
+                lines.append(f"{name}_sum{labels} {_format_value(metric.sum)}")
+                lines.append(f"{name}_count{labels} {metric.count}")
+            elif isinstance(metric, (Counter, Gauge)):
+                labels = _label_block(metric.labels)
+                lines.append(f"{name}{labels} {_format_value(metric.value)}")
+    return "\n".join(lines) + "\n"
+
+
+def render_json(registry: Optional[MetricsRegistry] = None) -> List[dict]:
+    """The registry's current state as a JSON-serializable metric list."""
+    registry = registry if registry is not None else get_registry()
+    return registry.snapshot()
+
+
+def registry_excerpt(
+    prefixes, registry: Optional[MetricsRegistry] = None
+) -> List[dict]:
+    """A compact snapshot of the families matching ``prefixes``.
+
+    Bucket arrays are dropped (count/sum/mean/p50/p99 stay), so benchmark
+    reports can embed the relevant telemetry without ballooning the
+    artifact.
+    """
+    registry = registry if registry is not None else get_registry()
+    wanted = tuple(prefixes)
+    out: List[dict] = []
+    for entry in registry.snapshot():
+        if entry["name"].startswith(wanted):
+            entry = dict(entry)
+            entry.pop("buckets", None)
+            out.append(entry)
+    return out

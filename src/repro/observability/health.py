@@ -1,0 +1,39 @@
+"""Sketch health statistics: fill, saturation and per-table summaries.
+
+Health gauges are computed lazily at snapshot time (``np.count_nonzero``
+over a counter table is far too expensive per ingest batch) and shared by
+every backend's ``telemetry_snapshot()``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["sketch_health"]
+
+
+def sketch_health(sketch) -> Dict[str, object]:
+    """Per-table health summary for one Count-Min sketch.
+
+    ``fill_ratio`` is the fraction of nonzero counter cells — the classic
+    saturation signal: past ~0.5 per row, collision noise (and with it the
+    realized estimation error) climbs steeply.
+    """
+    table = sketch.table
+    cells = table.size
+    nonzero = int(np.count_nonzero(table))
+    return {
+        "width": int(sketch.width),
+        "depth": int(sketch.depth),
+        "cells": int(cells),
+        "nonzero_cells": nonzero,
+        "fill_ratio": nonzero / cells if cells else 0.0,
+        "max_cell": float(table.max()) if cells else 0.0,
+        "total_count": float(sketch.total_count),
+        "update_count": int(sketch.update_count),
+        "conservative": bool(sketch.conservative),
+        "error_bound": float(sketch.error_bound()),
+        "failure_probability": float(sketch.failure_probability()),
+    }

@@ -1,0 +1,47 @@
+"""Shared metric handles for the ingest and build planes.
+
+The gSketch core, the sharded coordinator and the executors all report into
+the same stage families (``repro_ingest_stage_seconds{stage=...}`` etc.);
+resolving the handles here once keeps the catalogue in one place and the
+registration idempotent.  Query-plane handles live in
+:mod:`repro.queries.plan`, next to their call sites.
+"""
+
+from __future__ import annotations
+
+from repro.observability.metrics import REGISTRY
+
+__all__ = [
+    "BUILD_STAGE",
+    "INGEST_BATCHES",
+    "INGEST_ELEMENTS",
+    "INGEST_STAGE",
+]
+
+#: Per-stage ingest latency: ``route`` (hash + group), ``dispatch`` (shard
+#: scatter), ``apply`` (counter updates), ``flush`` (pipeline drain / stall).
+INGEST_STAGE = {
+    stage: REGISTRY.histogram(
+        "repro_ingest_stage_seconds",
+        "Ingest stage latency (seconds)",
+        {"stage": stage},
+    )
+    for stage in ("route", "dispatch", "apply", "flush")
+}
+
+INGEST_BATCHES = REGISTRY.counter(
+    "repro_ingest_batches_total", "Edge batches ingested"
+)
+INGEST_ELEMENTS = REGISTRY.counter(
+    "repro_ingest_elements_total", "Stream elements ingested"
+)
+
+#: Partition-tree construction phases of ``build_partition_tree``.
+BUILD_STAGE = {
+    stage: REGISTRY.histogram(
+        "repro_build_stage_seconds",
+        "Partition-tree build stage latency (seconds)",
+        {"stage": stage},
+    )
+    for stage in ("lexsort", "split", "materialize")
+}

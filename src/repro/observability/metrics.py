@@ -1,0 +1,355 @@
+"""A lock-cheap metrics registry: counters, gauges and latency histograms.
+
+Design goals, in priority order:
+
+1. **Near-zero overhead when disabled.**  Every hot-path hook funnels through
+   a single module-level flag check (:func:`enabled`); the timing helpers
+   (:func:`span`, :func:`stage_clock`) return a shared no-op singleton when
+   telemetry is off, so a disabled hook costs one function call and one
+   global load — no ``perf_counter_ns`` call, no dictionary lookup.
+2. **Lock-cheap when enabled.**  Metric updates are plain attribute writes
+   protected only by the GIL.  Under extreme thread contention an increment
+   can occasionally be lost; for telemetry that trade is deliberate and the
+   alternative (a mutex on the ingest hot path) is not.
+3. **Stable names.**  Metric names follow the Prometheus convention
+   (``repro_<plane>_<what>_<unit>``) and are catalogued in the README; tests
+   and the ``python -m repro stats`` surface treat them as API.
+
+Histograms use fixed log-scale (powers of two) second buckets so that two
+snapshots are always mergeable and bucket boundaries never depend on the
+data observed.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "REGISTRY",
+    "DEFAULT_BUCKET_BOUNDS",
+    "enabled",
+    "set_enabled",
+    "get_registry",
+]
+
+#: Fixed log-scale latency bucket upper bounds, in seconds: 1µs · 2^k for
+#: k = 0..23 (≈ 1µs … ≈ 8.4s), plus the implicit +Inf bucket.  Powers of two
+#: keep the boundaries exact in binary and independent of observed data.
+DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**k for k in range(24))
+
+_ENABLED = False
+
+
+def enabled() -> bool:
+    """Whether telemetry collection is currently on."""
+    return _ENABLED
+
+
+def set_enabled(flag: bool) -> None:
+    """Globally enable or disable telemetry collection.
+
+    Disabling does not clear previously collected values; use
+    :meth:`MetricsRegistry.reset` for a clean slate.
+    """
+    global _ENABLED
+    _ENABLED = bool(flag)
+
+
+_LabelItems = Tuple[Tuple[str, str], ...]
+
+
+def _label_items(labels: Optional[Mapping[str, str]]) -> _LabelItems:
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing count (float-valued, Prometheus-style)."""
+
+    __slots__ = ("name", "help", "labels", "_value")
+
+    kind = "counter"
+
+    def __init__(self, name: str, help: str, labels: _LabelItems) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if _ENABLED:
+            self._value += amount
+
+    def set_total(self, value: float) -> None:
+        """Overwrite the running total from an external always-on source.
+
+        Some hot structures (e.g. :class:`~repro.queries.plan.HotEdgeCache`)
+        keep plain integer counters that are cheaper than registry lookups;
+        snapshots mirror them into the registry through this method.
+        """
+        self._value = float(value)
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value that can go up or down."""
+
+    __slots__ = ("name", "help", "labels", "_value")
+
+    kind = "gauge"
+
+    def __init__(self, name: str, help: str, labels: _LabelItems) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        if _ENABLED:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Histogram:
+    """A fixed-bucket latency histogram (log-scale second bounds).
+
+    Buckets store per-bucket (non-cumulative) counts internally; the
+    exposition layer accumulates them into Prometheus ``le`` semantics.
+    """
+
+    __slots__ = ("name", "help", "labels", "bounds", "bucket_counts", "sum", "count")
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: _LabelItems,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+    ) -> None:
+        self.name = name
+        self.help = help
+        self.labels = labels
+        self.bounds = bounds
+        self.bucket_counts = [0] * (len(bounds) + 1)  # final slot is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if _ENABLED:
+            self._observe(value)
+
+    def _observe(self, value: float) -> None:
+        """Record without the enabled check (caller already verified it)."""
+        self.bucket_counts[bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """``(upper_bound, cumulative_count)`` pairs ending with ``+Inf``."""
+        out: List[Tuple[float, int]] = []
+        running = 0
+        for bound, n in zip(self.bounds, self.bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((float("inf"), running + self.bucket_counts[-1]))
+        return out
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        for bound, cumulative in self.cumulative_buckets():
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
+
+class MetricsRegistry:
+    """A family-keyed collection of counters, gauges and histograms.
+
+    The same ``(name, labels)`` pair always resolves to the same metric
+    object, so call sites can look handles up eagerly at import time and
+    hold them across the program's lifetime.  Registering one name with two
+    different metric types is an error.
+    """
+
+    def __init__(self) -> None:
+        self._metrics: Dict[Tuple[str, _LabelItems], object] = {}
+        self._kinds: Dict[str, str] = {}
+
+    def _get(self, cls, name: str, help: str, labels, **kwargs):
+        items = _label_items(labels)
+        key = (name, items)
+        metric = self._metrics.get(key)
+        if metric is not None:
+            if not isinstance(metric, cls):
+                raise ValueError(
+                    f"metric {name!r} already registered as {self._kinds[name]}"
+                )
+            return metric
+        if self._kinds.setdefault(name, cls.kind) != cls.kind:
+            raise ValueError(
+                f"metric {name!r} already registered as {self._kinds[name]}"
+            )
+        metric = cls(name, help, items, **kwargs)
+        self._metrics[key] = metric
+        return metric
+
+    def counter(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Counter:
+        return self._get(Counter, name, help, labels)
+
+    def gauge(
+        self, name: str, help: str = "", labels: Optional[Mapping[str, str]] = None
+    ) -> Gauge:
+        return self._get(Gauge, name, help, labels)
+
+    def histogram(
+        self,
+        name: str,
+        help: str = "",
+        labels: Optional[Mapping[str, str]] = None,
+        bounds: Tuple[float, ...] = DEFAULT_BUCKET_BOUNDS,
+    ) -> Histogram:
+        return self._get(Histogram, name, help, labels, bounds=bounds)
+
+    def collect(self) -> List[object]:
+        """All metrics, sorted by family name then label items (stable)."""
+        return [
+            metric
+            for _, metric in sorted(self._metrics.items(), key=lambda kv: kv[0])
+        ]
+
+    def families(self) -> List[Tuple[str, List[object]]]:
+        """Metrics grouped by family name, preserving the sorted order."""
+        grouped: Dict[str, List[object]] = {}
+        for metric in self.collect():
+            grouped.setdefault(metric.name, []).append(metric)  # type: ignore[attr-defined]
+        return sorted(grouped.items())
+
+    def snapshot(self) -> List[dict]:
+        """A JSON-serializable dump of every metric's current value."""
+        out: List[dict] = []
+        for metric in self.collect():
+            entry = {
+                "name": metric.name,  # type: ignore[attr-defined]
+                "type": metric.kind,  # type: ignore[attr-defined]
+                "labels": dict(metric.labels),  # type: ignore[attr-defined]
+            }
+            if isinstance(metric, Histogram):
+                entry["count"] = metric.count
+                entry["sum"] = metric.sum
+                entry["mean"] = metric.mean
+                entry["p50"] = metric.quantile(0.5)
+                entry["p99"] = metric.quantile(0.99)
+                entry["buckets"] = [
+                    [bound, cumulative]
+                    for bound, cumulative in metric.cumulative_buckets()
+                ]
+            else:
+                entry["value"] = metric.value  # type: ignore[attr-defined]
+            out.append(entry)
+        return out
+
+    def reset(self) -> None:
+        """Zero every metric **in place** (tests, back-to-back bench runs).
+
+        Registrations survive: call sites hold metric handles looked up at
+        import time, so dropping the objects would silently disconnect them
+        from future snapshots.
+        """
+        for metric in self._metrics.values():
+            if isinstance(metric, Histogram):
+                metric.bucket_counts = [0] * (len(metric.bounds) + 1)
+                metric.sum = 0.0
+                metric.count = 0
+            else:
+                metric._value = 0.0  # type: ignore[attr-defined]
+
+
+#: The process-global default registry.  Hot paths register their handles
+#: here at import time; tests may construct private registries instead.
+REGISTRY = MetricsRegistry()
+
+
+def get_registry() -> MetricsRegistry:
+    return REGISTRY
+
+
+class _NoopClock:
+    """Shared do-nothing stand-in for spans and stage clocks when disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopClock":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def lap(self, stage: str) -> None:
+        pass
+
+
+NOOP_CLOCK = _NoopClock()
+
+
+class StageClock:
+    """Lap-based stage timer: call :meth:`lap` at each phase boundary.
+
+    Unlike nested ``with`` blocks, laps do not force re-indentation of the
+    instrumented code; :func:`stage_clock` returns :data:`NOOP_CLOCK` when
+    telemetry is disabled so the per-lap cost vanishes entirely.
+    """
+
+    __slots__ = ("_plane", "_histograms", "_trace", "_last_ns")
+
+    def __init__(self, plane: str, histograms: Mapping[str, Histogram], trace) -> None:
+        self._plane = plane
+        self._histograms = histograms
+        self._trace = trace
+        self._last_ns = time.perf_counter_ns()
+
+    def lap(self, stage: str) -> None:
+        now = time.perf_counter_ns()
+        seconds = (now - self._last_ns) * 1e-9
+        self._last_ns = now
+        histogram = self._histograms.get(stage)
+        if histogram is not None:
+            histogram._observe(seconds)
+        if self._trace is not None:
+            self._trace.record(self._plane, stage, seconds)
+
+
+def timed_ns() -> int:
+    """Nanosecond monotonic timestamp (the registry's clock)."""
+    return time.perf_counter_ns()
+
+
+def bucket_index(bounds: Iterable[float], value: float) -> int:
+    """Index of the bucket covering ``value`` (exposed for tests)."""
+    return bisect_left(tuple(bounds), value)

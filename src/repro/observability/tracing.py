@@ -1,0 +1,159 @@
+"""Phase tracing: span-style timed contexts emitted as structured JSON lines.
+
+Every span (or :class:`~repro.observability.metrics.StageClock` lap) produces
+one event — ``{"ts", "plane", "stage", "seconds", ...attrs}`` — delivered to
+the process-global :class:`TraceRecorder`.  Events land in a bounded
+in-memory ring by default; :func:`configure_tracing` can additionally stream
+them to a JSON-lines file for offline timeline reconstruction.
+
+Tracing shares the master enable flag with the metrics registry: when
+telemetry is disabled, :func:`span` and :func:`stage_clock` return a shared
+no-op object and no clock is read.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import deque
+from typing import Deque, Dict, List, Mapping, Optional, TextIO
+
+from repro.observability import metrics as _metrics
+from repro.observability.metrics import NOOP_CLOCK, Histogram, StageClock
+
+__all__ = [
+    "TraceRecorder",
+    "configure_tracing",
+    "get_recorder",
+    "span",
+    "stage_clock",
+    "trace_events",
+]
+
+DEFAULT_RING_SIZE = 2_048
+
+
+class TraceRecorder:
+    """Bounded ring of trace events with an optional JSON-lines sink."""
+
+    def __init__(self, ring_size: int = DEFAULT_RING_SIZE) -> None:
+        self._ring: Deque[dict] = deque(maxlen=ring_size)
+        self._sink: Optional[TextIO] = None
+        self._dropped = 0
+
+    def record(self, plane: str, stage: str, seconds: float, **attrs) -> None:
+        event = {
+            "ts": time.time(),
+            "plane": plane,
+            "stage": stage,
+            "seconds": seconds,
+        }
+        if attrs:
+            event.update(attrs)
+        if len(self._ring) == self._ring.maxlen:
+            self._dropped += 1
+        self._ring.append(event)
+        if self._sink is not None:
+            self._sink.write(json.dumps(event, separators=(",", ":")) + "\n")
+
+    def events(self) -> List[dict]:
+        """The retained events, oldest first."""
+        return list(self._ring)
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted from the ring since the last :meth:`reset`."""
+        return self._dropped
+
+    def attach_sink(self, sink: Optional[TextIO]) -> None:
+        if self._sink is not None and self._sink is not sink:
+            self._sink.flush()
+        self._sink = sink
+
+    def flush(self) -> None:
+        if self._sink is not None:
+            self._sink.flush()
+
+    def reset(self, ring_size: Optional[int] = None) -> None:
+        maxlen = ring_size if ring_size is not None else self._ring.maxlen
+        self._ring = deque(maxlen=maxlen)
+        self._dropped = 0
+
+
+_RECORDER = TraceRecorder()
+
+
+def get_recorder() -> TraceRecorder:
+    return _RECORDER
+
+
+def configure_tracing(
+    path: Optional[str] = None, ring_size: int = DEFAULT_RING_SIZE
+) -> TraceRecorder:
+    """Reset the global recorder; optionally stream events to ``path``.
+
+    The file handle stays open for the process lifetime (trace files are
+    append-heavy); callers that need a bounded file should rotate it
+    themselves between runs.
+    """
+    _RECORDER.reset(ring_size)
+    if path is not None:
+        _RECORDER.attach_sink(open(path, "a", encoding="utf-8"))
+    else:
+        _RECORDER.attach_sink(None)
+    return _RECORDER
+
+
+def trace_events() -> List[dict]:
+    """Events currently retained by the global recorder, oldest first."""
+    return _RECORDER.events()
+
+
+class _Span:
+    __slots__ = ("_plane", "_stage", "_histogram", "_attrs", "_begin_ns")
+
+    def __init__(
+        self, plane: str, stage: str, histogram: Optional[Histogram], attrs: dict
+    ) -> None:
+        self._plane = plane
+        self._stage = stage
+        self._histogram = histogram
+        self._attrs = attrs
+
+    def __enter__(self) -> "_Span":
+        self._begin_ns = time.perf_counter_ns()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        seconds = (time.perf_counter_ns() - self._begin_ns) * 1e-9
+        if self._histogram is not None:
+            self._histogram._observe(seconds)
+        _RECORDER.record(self._plane, self._stage, seconds, **self._attrs)
+        return False
+
+
+def span(plane: str, stage: str, histogram: Optional[Histogram] = None, **attrs):
+    """A timed context: one clock pair feeds both the histogram and the trace.
+
+    Returns a shared no-op object when telemetry is disabled, so wrapping a
+    hot region costs a single flag check.
+    """
+    if not _metrics._ENABLED:
+        return NOOP_CLOCK
+    return _Span(plane, stage, histogram, attrs)
+
+
+def stage_clock(plane: str, histograms: Mapping[str, Histogram]):
+    """A lap-based stage timer bound to the global trace recorder.
+
+    ``histograms`` maps stage names to their latency histograms; laps whose
+    stage has no histogram still emit trace events.  Returns the shared
+    no-op when telemetry is disabled.
+    """
+    if not _metrics._ENABLED:
+        return NOOP_CLOCK
+    return StageClock(plane, histograms, _RECORDER)
+
+
+# Re-exported for call sites that only need typing.
+Histograms = Dict[str, Histogram]

@@ -47,17 +47,48 @@ re-copies the tables on refresh instead.
 
 from __future__ import annotations
 
+import time
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.graph.batch import EdgeBatch, label_column
 from repro.graph.edge import EdgeKey
+from repro.observability import metrics as _obs
+from repro.observability.tracing import span as _span
+from repro.observability.tracing import stage_clock as _stage_clock
 from repro.sketches.countmin import CountMinSketch
 from repro.sketches.hashing import gathered_hash_columns, key_to_uint64
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (import cycle guard)
     from repro.core.router import VertexRouter
+
+# Telemetry handles (see README "Observability" for the name catalogue).
+# Resolved once at import; every update is gated on the module enable flag,
+# so the disabled hot path pays one flag check and no dictionary lookups.
+_QUERY_STAGE_HISTOGRAMS = {
+    stage: _obs.REGISTRY.histogram(
+        "repro_query_stage_seconds",
+        "Compiled-plan query stage latency (seconds)",
+        {"stage": stage},
+    )
+    for stage in ("hash", "route", "gather")
+}
+_QUERY_SECONDS = _obs.REGISTRY.histogram(
+    "repro_query_plan_seconds", "End-to-end plan-served query batch latency (seconds)"
+)
+_QUERY_BATCHES = _obs.REGISTRY.counter(
+    "repro_query_batches_total", "Plan-served query batches answered"
+)
+_QUERY_EDGES = _obs.REGISTRY.counter(
+    "repro_query_edges_total", "Edges answered through the compiled query plan"
+)
+_PLAN_COMPILES = _obs.REGISTRY.counter(
+    "repro_plan_compile_total", "Query plans compiled from scratch"
+)
+_PLAN_REFRESHES = _obs.REGISTRY.counter(
+    "repro_plan_refresh_total", "Stale query plans refreshed in place"
+)
 
 #: Mirrors :data:`repro.core.router.OUTLIER_PARTITION`.  Importing it here
 #: would cycle (``repro.core.__init__`` → ``gsketch`` → this module); the
@@ -84,7 +115,15 @@ class HotEdgeCache:
     bit-identical to recomputing through the plan.
     """
 
-    __slots__ = ("capacity", "_entries", "_generation")
+    __slots__ = (
+        "capacity",
+        "_entries",
+        "_generation",
+        "hits",
+        "misses",
+        "evictions",
+        "invalidations",
+    )
 
     def __init__(self, capacity: int = DEFAULT_CACHE_CAPACITY) -> None:
         if capacity <= 0:
@@ -92,6 +131,12 @@ class HotEdgeCache:
         self.capacity = capacity
         self._entries: Dict[int, float] = {}
         self._generation = -1
+        # Plain ints, always on: cheaper than registry probes in the per-query
+        # path; snapshots mirror them into the registry (``telemetry()``).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -103,6 +148,10 @@ class HotEdgeCache:
 
     def _sync_generation(self, generation: int) -> Dict[int, float]:
         if generation != self._generation:
+            if self._generation != -1:
+                # The first sync merely adopts the owner's generation; every
+                # later move means ingest/restore/merge made the memo stale.
+                self.invalidations += 1
             self._entries = {}
             self._generation = generation
         return self._entries
@@ -112,14 +161,18 @@ class HotEdgeCache:
 
         Partial hits return ``None`` — the vectorized plan path answers the
         whole batch at essentially the cost of answering the misses alone.
+        Hit/miss counters tally lookup *batches*, matching the all-or-nothing
+        contract.
         """
         entries = self._sync_generation(generation)
         values = []
         for key in keys:
             value = entries.get(key)
             if value is None:
+                self.misses += 1
                 return None
             values.append(value)
+        self.hits += 1
         return values
 
     def store_many(
@@ -130,9 +183,22 @@ class HotEdgeCache:
         if len(entries) + len(keys) > self.capacity:
             # Wholesale eviction: the hot set re-establishes itself within a
             # few batches, and a clear keeps the memo O(1) with no bookkeeping.
+            self.evictions += len(entries)
             entries.clear()
         for key, value in zip(keys, values):
             entries[key] = value
+
+    def telemetry(self) -> Dict[str, int]:
+        """Counter snapshot for ``telemetry_snapshot()`` surfaces."""
+        return {
+            "size": len(self._entries),
+            "capacity": self.capacity,
+            "generation": self._generation,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
 
 
 class CompiledQueryPlan:
@@ -348,9 +414,15 @@ class CompiledQueryPlan:
         """Estimates for bare edge keys (hash + route + gather, no cache)."""
         if len(edges) == 0:
             return np.zeros(0, dtype=np.float64)
+        clock = _stage_clock("query", _QUERY_STAGE_HISTOGRAMS)
         batch = EdgeBatch.from_edge_keys(edges)
+        keys = batch.hashed_keys()
+        clock.lap("hash")
         slots, _ = self.route_sources(batch.sources)
-        return self.estimate_keys(batch.hashed_keys(), slots)
+        clock.lap("route")
+        estimates = self.estimate_keys(keys, slots)
+        clock.lap("gather")
+        return estimates
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
@@ -398,25 +470,60 @@ class PlanServingMixin:
     def _before_plan_query(self) -> None:
         """Pre-serve hook (the sharded coordinator drains its pipeline here)."""
 
+    # -- telemetry ------------------------------------------------------ #
+    def _plan_telemetry(self) -> Dict[str, object]:
+        """Plan + hot-cache state shared by every ``telemetry_snapshot()``."""
+        plan = self._query_plan
+        return {
+            "plan": {
+                "compiled": plan is not None,
+                "generation": self._plan_generation,
+                "stale": plan is not None and plan.generation != self._plan_generation,
+                "slots": plan.num_slots if plan is not None else 0,
+                "arena_cells": plan.arena_cells if plan is not None else 0,
+                "attached": plan.attached if plan is not None else False,
+            },
+            "hot_cache": self._hot_cache.telemetry(),
+        }
+
     # -- plan lifecycle ------------------------------------------------- #
     def compile_plan(self) -> CompiledQueryPlan:
         """The current plan, compiling or refreshing it if ingestion moved on."""
         self._before_plan_query()
         plan = self._query_plan
         if plan is None:
-            sketches, router, attach = self._plan_layout()
-            plan = CompiledQueryPlan.compile(
-                sketches, router, generation=self._plan_generation, attach=attach
-            )
+            with _span("query", "compile"):
+                sketches, router, attach = self._plan_layout()
+                plan = CompiledQueryPlan.compile(
+                    sketches, router, generation=self._plan_generation, attach=attach
+                )
             self._query_plan = plan
+            _PLAN_COMPILES.inc()
         elif plan.generation != self._plan_generation:
-            sketches, _router, _attach = self._plan_layout()
-            plan.refresh(sketches, self._plan_generation)
+            with _span("query", "refresh"):
+                sketches, _router, _attach = self._plan_layout()
+                plan.refresh(sketches, self._plan_generation)
+            _PLAN_REFRESHES.inc()
         return plan
 
     # -- serving -------------------------------------------------------- #
     def _planned_estimates(self, edges: Sequence[EdgeKey]) -> np.ndarray:
-        """Plan-served estimates with the hot-edge cache on small batches."""
+        """Plan-served estimates with the hot-edge cache on small batches.
+
+        The telemetry wrapper times the whole call (histogram
+        ``repro_query_plan_seconds``) and tallies batch/edge counters; when
+        telemetry is disabled it costs one flag check and one extra frame.
+        """
+        if not _obs._ENABLED:
+            return self._planned_estimates_impl(edges)
+        begin = time.perf_counter_ns()
+        estimates = self._planned_estimates_impl(edges)
+        _QUERY_SECONDS._observe((time.perf_counter_ns() - begin) * 1e-9)
+        _QUERY_BATCHES.inc()
+        _QUERY_EDGES.inc(len(edges))
+        return estimates
+
+    def _planned_estimates_impl(self, edges: Sequence[EdgeKey]) -> np.ndarray:
         if len(edges) == 0:
             return np.zeros(0, dtype=np.float64)
         plan = self.compile_plan()
@@ -443,6 +550,18 @@ class PlanServingMixin:
         gathered per element by arena slot, so queries spanning any number of
         partitions stay loop-free.
         """
+        if not _obs._ENABLED:
+            return self._planned_confidence_impl(edges)
+        begin = time.perf_counter_ns()
+        result = self._planned_confidence_impl(edges)
+        _QUERY_SECONDS._observe((time.perf_counter_ns() - begin) * 1e-9)
+        _QUERY_BATCHES.inc()
+        _QUERY_EDGES.inc(len(edges))
+        return result
+
+    def _planned_confidence_impl(
+        self, edges: Sequence[EdgeKey]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray, Optional[np.ndarray]]:
         plan = self.compile_plan()
         batch = EdgeBatch.from_edge_keys(edges)
         slots, partitions = plan.route_sources(batch.sources)

@@ -299,6 +299,79 @@ def test_hot_cache_rejects_bad_capacity():
 
 
 # ---------------------------------------------------------------------- #
+# Hot-cache telemetry counters
+# ---------------------------------------------------------------------- #
+def test_hot_cache_counts_hits_misses_evictions_invalidations():
+    cache = HotEdgeCache(capacity=4)
+    assert cache.lookup_many(1, [10]) is None
+    assert cache.misses == 1
+    cache.store_many(1, [10, 11], [1.0, 2.0])
+    assert cache.lookup_many(1, [10, 11]) == [1.0, 2.0]
+    assert cache.hits == 1
+    # Overflow clears wholesale: both resident entries count as evicted.
+    cache.store_many(1, [12, 13, 14], [3.0, 4.0, 5.0])
+    assert cache.evictions == 2
+    # A generation move after adoption is an invalidation; the initial
+    # adoption (generation -1 -> 1) was not.
+    assert cache.invalidations == 0
+    assert cache.lookup_many(2, [12]) is None
+    assert cache.invalidations == 1
+    telemetry = cache.telemetry()
+    assert telemetry["hits"] == 1
+    assert telemetry["misses"] == 2
+    assert telemetry["evictions"] == 2
+    assert telemetry["invalidations"] == 1
+
+
+def test_cache_invalidation_counter_on_ingest(zipf_stream, zipf_sample, small_config):
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    keys = sorted(zipf_stream.distinct_edges())[:4]  # under HOT_CACHE_MAX_BATCH
+    cache = gsketch._hot_cache
+    gsketch.query_edges(keys)  # compile + miss + store
+    gsketch.query_edges(keys)  # memo hit
+    assert cache.hits >= 1 and cache.misses >= 1
+    before = cache.invalidations
+    gsketch.ingest_batch(list(zipf_stream)[:200])
+    gsketch.query_edges(keys)  # generation moved: stale memo dropped
+    assert cache.invalidations == before + 1
+
+
+def test_cache_invalidation_counter_on_restore(
+    tmp_path, zipf_stream, zipf_sample, small_config
+):
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    keys = sorted(zipf_stream.distinct_edges())[:4]
+    gsketch.query_edges(keys)
+    path = tmp_path / "plan.snap"
+    save_snapshot(gsketch, path)
+    restored = load_snapshot(path)
+    restored.query_edges(keys)
+    # A restored estimator's cache starts cold: its first sync adopts the
+    # generation without counting an invalidation.
+    assert restored._hot_cache.invalidations == 0
+    restored.ingest_batch(list(zipf_stream)[:200])
+    restored.query_edges(keys)
+    assert restored._hot_cache.invalidations == 1
+
+
+def test_cache_invalidation_counter_on_merge(zipf_stream, zipf_sample, small_config):
+    left = ShardedGSketch.build(zipf_sample, small_config, num_shards=2)
+    right = ShardedGSketch.build(zipf_sample, small_config, num_shards=2)
+    half = len(zipf_stream) // 2
+    edges = list(zipf_stream)
+    left.ingest(edges[:half])
+    right.ingest(edges[half:])
+    keys = sorted(zipf_stream.distinct_edges())[:4]
+    left.query_edges(keys)  # warm the memo pre-merge
+    before = left._hot_cache.invalidations
+    left.merge(right)
+    left.query_edges(keys)  # merged counters: the memo must not survive
+    assert left._hot_cache.invalidations == before + 1
+
+
+# ---------------------------------------------------------------------- #
 # Facade integration
 # ---------------------------------------------------------------------- #
 def test_engine_frozen_precompiles_and_chains(zipf_stream, zipf_sample, small_config):

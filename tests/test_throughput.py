@@ -41,15 +41,18 @@ def test_run_throughput_reports_all_modes():
             assert breakdown["stall_seconds"] >= 0
             assert breakdown["coordinator_seconds"] >= 0
         elif row["mode"].startswith("sharded-"):
-            # Per-shard timing breakdown (the executor-choice diagnostic).
+            # Registry-delta breakdown (the executor-choice diagnostic).
             breakdown = row["breakdown"]
-            num_shards = int(row["mode"].split("-")[1])
             assert breakdown["batches"] > 0
             assert breakdown["apply_wall_seconds"] >= 0
+            assert breakdown["route_seconds"] >= 0
             assert breakdown["coordinator_seconds"] >= 0
-            assert len(breakdown["shard_busy_seconds"]) == num_shards
+            assert "registry" in breakdown["source"]
         else:
             assert row["breakdown"] is None
+    assert any(
+        entry["name"] == "repro_ingest_stage_seconds" for entry in report["telemetry"]
+    )
 
 
 def test_run_build_bench_verifies_equivalence():
@@ -107,3 +110,10 @@ def test_run_query_bench_reports_all_backends():
         assert row["direct_qps"] > 0
         assert row["plan_qps"] > 0
         assert row["speedup"] == row["plan_qps"] / row["direct_qps"]
+    telemetry = report["telemetry"]
+    assert any(
+        entry["name"] == "repro_query_plan_seconds" and entry["count"] > 0
+        for entry in telemetry["query_plane"]
+    )
+    # Batch-1 passes over a Zipf workload must produce hot-cache traffic.
+    assert telemetry["hot_cache"]["gsketch"]["hits"] > 0
