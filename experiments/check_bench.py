@@ -248,6 +248,46 @@ def check_overhead(report: dict) -> List[CheckResult]:
     ]
 
 
+def check_recovery(report: dict) -> List[CheckResult]:
+    """Advisory fault-injection recovery rows — always reported, never failing.
+
+    The real gate lives in ``experiments/recovery_bench.py`` (it exits
+    non-zero on a parity or bound-soundness failure); these rows surface the
+    drill outcome and recovery cost next to the performance floors.
+    """
+    checks: List[CheckResult] = []
+    for row in report.get("parity", []):
+        checks.append(
+            CheckResult(
+                name=(
+                    f"recovery (advisory) [{row['executor']}]: crash/recover "
+                    "parity"
+                ),
+                measured=(
+                    f"parity={row.get('parity_ok')} "
+                    f"restarts={row.get('restarts')} "
+                    f"cost {float(row.get('recovery_cost_ratio', 0.0)):.2f}x"
+                ),
+                required="bit-exact (gated by recovery_bench itself)",
+                ok=True,
+            )
+        )
+    degraded = report.get("degraded", {})
+    checks.append(
+        CheckResult(
+            name="recovery (advisory): degraded-serving bound soundness",
+            measured=(
+                f"widened={degraded.get('queries_widened')} "
+                f"violations={degraded.get('bound_violations')} "
+                f"lost={degraded.get('lost_elements')}"
+            ),
+            required="0 violations (gated by recovery_bench itself)",
+            ok=True,
+        )
+    )
+    return checks
+
+
 def render_markdown(checks: Sequence[CheckResult], profile: str) -> str:
     """The comparison table as GitHub-flavoured markdown."""
     failed = sum(not check.ok for check in checks)
@@ -307,6 +347,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "when the file is absent (default BENCH_overhead_ci.json)",
     )
     parser.add_argument(
+        "--recovery",
+        default="BENCH_recovery_ci.json",
+        help="fault-injection recovery report for advisory rows; skipped "
+        "silently when the file is absent (default BENCH_recovery_ci.json)",
+    )
+    parser.add_argument(
         "--baselines",
         default=os.path.join(os.path.dirname(__file__), "bench_baselines.json"),
         help="committed floor definitions (default experiments/bench_baselines.json)",
@@ -343,6 +389,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         checks.extend(check_query(report, profile["query"], tolerance))
     if args.overhead and os.path.exists(args.overhead):
         checks.extend(check_overhead(_load_json(args.overhead, "overhead")))
+    if args.recovery and os.path.exists(args.recovery):
+        checks.extend(check_recovery(_load_json(args.recovery, "recovery")))
     if not checks:
         raise SystemExit("check_bench: profile defines no checks")
 

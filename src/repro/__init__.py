@@ -32,18 +32,26 @@ from repro.api.engine import EngineBuilder, EngineError, SketchEngine
 from repro.api.protocol import Estimator
 from repro.api.queries import WindowQuery
 from repro.api.results import Estimate, Provenance
-from repro.api.snapshot import load_snapshot, save_snapshot
+from repro.api.snapshot import (
+    SnapshotError,
+    load_checkpoint,
+    load_snapshot,
+    save_checkpoint,
+    save_snapshot,
+)
 from repro.core.config import GSketchConfig
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import GSketch
 from repro.core.windowed import WindowedGSketch
 from repro.distributed import (
+    RecoveryPolicy,
     ShardExecutionError,
     ShardPlan,
     ShardedGSketch,
     SharedMemoryExecutor,
     make_executor,
 )
+from repro.faults import FaultPlan, FaultSpec
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import StreamEdge
 from repro.graph.stream import GraphStream
@@ -63,22 +71,28 @@ __all__ = [
     "EngineError",
     "Estimate",
     "Estimator",
+    "FaultPlan",
+    "FaultSpec",
     "GSketch",
     "GSketchConfig",
     "GlobalSketch",
     "GraphStream",
     "Provenance",
+    "RecoveryPolicy",
     "ShardExecutionError",
     "ShardPlan",
     "ShardedGSketch",
     "SharedMemoryExecutor",
     "SketchEngine",
+    "SnapshotError",
     "StreamEdge",
     "SubgraphQuery",
     "WindowQuery",
     "WindowedGSketch",
     "__version__",
+    "load_checkpoint",
     "load_snapshot",
     "make_executor",
+    "save_checkpoint",
     "save_snapshot",
 ]

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import asdict
@@ -88,6 +89,13 @@ def _emit(document: dict) -> None:
     sys.stdout.write("\n")
 
 
+def _open_engine(path: str) -> SketchEngine:
+    """Load an engine from a snapshot file or a checkpoint directory."""
+    if os.path.isdir(path):
+        return SketchEngine.restore(path)
+    return SketchEngine.load(path)
+
+
 # ---------------------------------------------------------------------- #
 # Commands
 # ---------------------------------------------------------------------- #
@@ -115,28 +123,40 @@ def cmd_build(args: argparse.Namespace) -> int:
     engine = builder.build()
     ingested = engine.ingest(stream, batch_size=args.batch_size) if args.ingest else 0
     engine.save(args.out)
-    engine.close()
     summary = engine.describe()
+    if args.checkpoint_dir is not None:
+        engine.checkpoint(args.checkpoint_dir)
+        summary["checkpoint"] = args.checkpoint_dir
+    engine.close()
     summary.update({"snapshot": args.out, "dataset": stream.name, "ingested": ingested})
     _emit(summary)
     return 0
 
 
 def cmd_ingest(args: argparse.Namespace) -> int:
-    engine = SketchEngine.load(args.snapshot)
+    engine = _open_engine(args.snapshot)
     stream = resolve_stream(args)
     ingested = engine.ingest(stream, batch_size=args.batch_size)
-    out = args.out or args.snapshot
-    engine.save(out)
-    engine.close()
     summary = engine.describe()
-    summary.update({"snapshot": out, "dataset": stream.name, "ingested": ingested})
+    if args.checkpoint_dir is not None:
+        engine.checkpoint(args.checkpoint_dir)
+        summary["checkpoint"] = args.checkpoint_dir
+    out = args.out or args.snapshot
+    if os.path.isdir(out):
+        # The input was a checkpoint directory: update it incrementally.
+        engine.checkpoint(out)
+        summary["checkpoint"] = out
+    else:
+        engine.save(out)
+        summary["snapshot"] = out
+    engine.close()
+    summary.update({"dataset": stream.name, "ingested": ingested})
     _emit(summary)
     return 0
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    engine = SketchEngine.load(args.snapshot)
+    engine = _open_engine(args.snapshot)
     keys: List[tuple] = [
         (_coerce_label(source), _coerce_label(target)) for source, target in args.edge or []
     ]
@@ -348,13 +368,25 @@ def build_parser() -> argparse.ArgumentParser:
     )
     build.add_argument("--batch-size", type=int, default=8192)
     build.add_argument("--out", required=True, help="snapshot path to write")
+    build.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="also write a crash-consistent checkpoint directory",
+    )
     build.set_defaults(func=cmd_build)
 
     ingest = commands.add_parser("ingest", help="ingest a dataset into a snapshot")
     _add_dataset_arguments(ingest)
-    ingest.add_argument("--snapshot", required=True)
+    ingest.add_argument(
+        "--snapshot", required=True, help="snapshot file or checkpoint directory"
+    )
     ingest.add_argument("--out", default=None, help="output path (default: overwrite)")
     ingest.add_argument("--batch-size", type=int, default=8192)
+    ingest.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="also write (or incrementally update) a checkpoint directory",
+    )
     ingest.set_defaults(func=cmd_ingest)
 
     query = commands.add_parser("query", help="answer edge queries from a snapshot")
@@ -380,7 +412,9 @@ def build_parser() -> argparse.ArgumentParser:
         metavar=("START", "END"),
         help="restrict to a time window (windowed backend only)",
     )
-    query.add_argument("--snapshot", required=True)
+    query.add_argument(
+        "--snapshot", required=True, help="snapshot file or checkpoint directory"
+    )
     query.set_defaults(func=cmd_query)
 
     bench = commands.add_parser("bench", help="facade ingest/query throughput")

@@ -35,7 +35,14 @@ from repro.api.protocol import (
 )
 from repro.api.queries import EdgeQuery, Query, SubgraphQuery, WindowQuery
 from repro.api.results import Estimate, Provenance
-from repro.api.snapshot import SnapshotError, backend_name, load_snapshot, save_snapshot
+from repro.api.snapshot import (
+    SnapshotError,
+    backend_name,
+    load_checkpoint,
+    load_snapshot,
+    save_checkpoint,
+    save_snapshot,
+)
 from repro.core.config import GSketchConfig
 from repro.core.global_sketch import GlobalSketch
 from repro.core.gsketch import DEFAULT_BATCH_SIZE, GSketch, iter_edge_batches
@@ -44,6 +51,7 @@ from repro.core.windowed import WindowedGSketch
 from repro.datasets.registry import load_dataset
 from repro.distributed.coordinator import ShardedGSketch
 from repro.distributed.executor import ShardExecutor, make_executor
+from repro.distributed.recovery import RecoveryPolicy
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.graph.sampling import reservoir_sample
@@ -187,19 +195,24 @@ class SketchEngine:
             ]
         intervals, partitions = combined(keys)
         plan = self._estimator.plan if self._backend == BACKEND_SHARDED else None
-        return [
-            Estimate(
-                value=interval.estimate,
-                interval=interval,
-                provenance=Provenance(
-                    backend=self._backend,
-                    partition=partition,
-                    shard=None if plan is None else plan.shard_of(partition),
-                    outlier=partition == OUTLIER_PARTITION,
-                ),
+        dead = frozenset(getattr(self._estimator, "dead_shards", ()) or ())
+        estimates = []
+        for interval, partition in zip(intervals, partitions):
+            shard = None if plan is None else plan.shard_of(partition)
+            estimates.append(
+                Estimate(
+                    value=interval.estimate,
+                    interval=interval,
+                    provenance=Provenance(
+                        backend=self._backend,
+                        partition=partition,
+                        shard=shard,
+                        outlier=partition == OUTLIER_PARTITION,
+                        degraded=shard is not None and shard in dead,
+                    ),
+                )
             )
-            for interval, partition in zip(intervals, partitions)
-        ]
+        return estimates
 
     def _query_window(self, query: WindowQuery) -> Estimate:
         if self._backend != BACKEND_WINDOWED:
@@ -245,6 +258,26 @@ class SketchEngine:
         """Restore an engine from a :meth:`save` snapshot (any backend)."""
         return cls.from_estimator(load_snapshot(path))
 
+    def checkpoint(self, directory: Union[str, Path]) -> Path:
+        """Write (or incrementally update) a crash-consistent checkpoint.
+
+        Sections whose dirty generation is unchanged since the previous
+        checkpoint of the same engine instance are carried forward, so
+        steady-state checkpoints rewrite only the shards that ingested in
+        between.  See :func:`repro.api.snapshot.save_checkpoint`.
+        """
+        return save_checkpoint(self._estimator, directory)
+
+    @classmethod
+    def restore(cls, directory: Union[str, Path]) -> "SketchEngine":
+        """Revive an engine from a :meth:`checkpoint` directory.
+
+        Every section file is length- and checksum-verified before any
+        deserialization; a torn or corrupt checkpoint raises
+        :class:`~repro.api.snapshot.SnapshotError` naming the bad section.
+        """
+        return cls.from_estimator(load_checkpoint(directory))
+
     # ------------------------------------------------------------------ #
     # Lifecycle / introspection
     # ------------------------------------------------------------------ #
@@ -289,6 +322,9 @@ class SketchEngine:
         total_frequency = getattr(estimator, "total_frequency", None)
         if total_frequency is not None:
             summary["total_frequency"] = float(total_frequency)
+        if getattr(estimator, "degraded", False):
+            summary["degraded"] = True
+            summary["dead_shards"] = list(getattr(estimator, "dead_shards", ()))
         return summary
 
     # ------------------------------------------------------------------ #
@@ -446,6 +482,7 @@ class EngineBuilder:
         self._smoothing_alpha = 1.0
         self._num_shards: Optional[int] = None
         self._executor: Optional[Union[str, ShardExecutor]] = None
+        self._recovery: Optional[RecoveryPolicy] = None
         self._window_length: Optional[float] = None
         self._window_sample_size = DEFAULT_SAMPLE_SIZE
         self._stream_size_hint: Optional[int] = None
@@ -530,6 +567,32 @@ class EngineBuilder:
         self._executor = executor
         return self
 
+    def recovery(
+        self, policy: Optional[RecoveryPolicy] = None, **kwargs
+    ) -> "EngineBuilder":
+        """Supervise the sharded backend's workers with automatic recovery.
+
+        Accepts a ready :class:`~repro.distributed.recovery.RecoveryPolicy`
+        or its keyword arguments (``max_restarts``, ``backoff_seconds``,
+        ``backoff_multiplier``, ``deadline_seconds``, ``journal_limit``,
+        ``ack_deadline_seconds``, ``degraded_serving``).  Under a policy the
+        coordinator journals in-flight batches, restarts crashed workers
+        with bounded exponential backoff and replays the journal so the
+        recovered state is bit-exact; with ``degraded_serving=True`` it
+        keeps answering from surviving shards after retry exhaustion,
+        marking results ``Provenance.degraded`` with widened intervals.
+        Only meaningful together with :meth:`sharded`.
+        """
+        if policy is not None and kwargs:
+            raise EngineError("pass either a RecoveryPolicy or keyword arguments, not both")
+        if policy is None:
+            try:
+                policy = RecoveryPolicy(**kwargs)
+            except (TypeError, ValueError) as exc:
+                raise EngineError(str(exc)) from exc
+        self._recovery = policy
+        return self
+
     def windowed(
         self, window_length: float, sample_size: int = DEFAULT_SAMPLE_SIZE
     ) -> "EngineBuilder":
@@ -548,6 +611,11 @@ class EngineBuilder:
         if self._executor is not None and self._num_shards is None:
             raise EngineError(
                 "an executor only applies to the sharded backend: call .sharded(n) too"
+            )
+        if self._recovery is not None and self._num_shards is None:
+            raise EngineError(
+                "a recovery policy only applies to the sharded backend: "
+                "call .sharded(n) too"
             )
         executor = self._resolve_executor()
 
@@ -591,7 +659,10 @@ class EngineBuilder:
                 # Workload-aware sharding has no direct ShardedGSketch
                 # constructor; re-shard the freshly built (empty) sketch.
                 sharded = ShardedGSketch.from_gsketch(
-                    gsketch, num_shards=self._num_shards, executor=executor
+                    gsketch,
+                    num_shards=self._num_shards,
+                    executor=executor,
+                    recovery=self._recovery,
                 )
                 return SketchEngine(sharded, BACKEND_SHARDED)
             return SketchEngine(gsketch, BACKEND_GSKETCH)
@@ -603,6 +674,7 @@ class EngineBuilder:
                 num_shards=self._num_shards,
                 executor=executor,
                 stream_size_hint=hint,
+                recovery=self._recovery,
             )
             return SketchEngine(sharded, BACKEND_SHARDED)
         gsketch = GSketch.build(sample, self._config, stream_size_hint=hint)

@@ -33,12 +33,18 @@ class Provenance:
             only).
         outlier: whether the outlier sketch served the query; ``None`` when
             the backend has no outlier reservation.
+        degraded: ``True`` when the shard that owned this query's counters
+            was abandoned after recovery exhaustion and the answer comes
+            from degraded serving — the interval's upper end is widened by
+            the lost frequency mass (see
+            :class:`~repro.distributed.recovery.RecoveryPolicy`).
     """
 
     backend: str
     partition: Optional[int] = None
     shard: Optional[int] = None
     outlier: Optional[bool] = None
+    degraded: bool = False
 
 
 @dataclass(frozen=True)
@@ -71,6 +77,8 @@ class Estimate:
             result["shard"] = self.provenance.shard
         if self.provenance.outlier is not None:
             result["outlier"] = self.provenance.outlier
+        if self.provenance.degraded:
+            result["degraded"] = True
         if self.interval is not None:
             result["interval"] = {
                 "lower": self.interval.lower,
@@ -78,4 +86,6 @@ class Estimate:
                 "additive_bound": self.interval.additive_bound,
                 "failure_probability": self.interval.failure_probability,
             }
+            if self.interval.upper_slack:
+                result["interval"]["upper_slack"] = self.interval.upper_slack
         return result

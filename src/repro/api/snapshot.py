@@ -1,27 +1,51 @@
-"""Versioned estimator snapshots.
+"""Versioned estimator snapshots and crash-consistent checkpoints.
 
 Every backend implements the ``state_dict()`` / ``from_state()`` half of the
 :class:`~repro.api.protocol.Estimator` contract; this module wraps those
 states in a self-describing envelope so a snapshot file can be handed to
-``load_snapshot`` without knowing which backend produced it:
+``load_snapshot`` without knowing which backend produced it.
 
-``{"format": "repro.sketch-snapshot", "version": 1, "backend": <name>,
-"state": <backend state_dict>}``
+Version 2 envelope (written by this build)::
 
-The payload is pickled (counter tables are numpy arrays and the partitioning
+    <pickled header dict> <raw section payload bytes>
+
+    header = {"format": "repro.sketch-snapshot", "version": 2,
+              "backend": <name>, "payload_length": <total bytes>,
+              "sections": [{"name", "length", "crc32"}, ...]}
+
+The header is a plain pickle; the section payloads follow it back to back.
+Each section carries a CRC32 and its exact length, so a torn write
+(truncation) or silent corruption (bit flip) is rejected by
+:func:`load_snapshot` with a :class:`SnapshotError` *naming the bad
+section* — never deserialized into garbage counters.  Sharded engines split
+into a small ``state`` section (partitioning, plan, scalars) plus one
+``shard-N`` section per shard; other backends write a single ``state``
+section.  Version 1 files (one pickle, no checksums) still load.
+
+:func:`save_checkpoint` / :func:`load_checkpoint` keep the same sections as
+*files in a directory* under an atomically-swapped ``MANIFEST.json`` —
+an **incremental** checkpoint: a section whose dirty generation matches the
+manifest is carried forward instead of rewritten, so steady-state
+checkpoints rewrite only the shards that ingested since the last one.
+Every file is written temp-file → flush → fsync → ``os.replace``, so a
+crash mid-checkpoint leaves the previous checkpoint fully intact.
+
+Payloads are pickled (counter tables are numpy arrays and the partitioning
 tree/router carry arbitrary hashable vertex labels), so snapshots are a
 trusted-input format — the same trust model as
-:meth:`~repro.distributed.shard.SketchShard.serialize`.  The envelope is
-versioned so a future layout change can keep loading old files.
+:meth:`~repro.distributed.shard.SketchShard.serialize`.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import pickle
+import zlib
 from pathlib import Path
-from typing import Dict, Type, Union
+from typing import Callable, Dict, List, Mapping, Optional, Tuple, Type, Union
 
+from repro import faults as _faults
 from repro.api.protocol import (
     BACKEND_GLOBAL,
     BACKEND_GSKETCH,
@@ -35,7 +59,11 @@ from repro.core.windowed import WindowedGSketch
 from repro.distributed.coordinator import ShardedGSketch
 
 SNAPSHOT_FORMAT = "repro.sketch-snapshot"
-SNAPSHOT_VERSION = 1
+SNAPSHOT_VERSION = 2
+
+CHECKPOINT_FORMAT = "repro.sketch-checkpoint"
+CHECKPOINT_VERSION = 1
+MANIFEST_NAME = "MANIFEST.json"
 
 #: backend name → estimator class, the single source of truth for dispatch.
 BACKEND_CLASSES: Dict[str, type] = {
@@ -47,9 +75,11 @@ BACKEND_CLASSES: Dict[str, type] = {
 
 _CLASS_BACKENDS: Dict[type, str] = {cls: name for name, cls in BACKEND_CLASSES.items()}
 
+_PICKLE_ERRORS = (pickle.UnpicklingError, EOFError, AttributeError, ImportError, IndexError)
+
 
 class SnapshotError(ValueError):
-    """A snapshot file is malformed, unversioned or from an unknown backend."""
+    """A snapshot/checkpoint is malformed, truncated, corrupt or unknown."""
 
 
 def backend_name(estimator: Estimator) -> str:
@@ -71,57 +101,295 @@ def backend_name(estimator: Estimator) -> str:
     )
 
 
-def save_snapshot(estimator: Estimator, path: Union[str, Path]) -> Path:
-    """Write a versioned snapshot of ``estimator`` to ``path``.
+def _resolve_backend(backend, source: str) -> type:
+    """The estimator class for a backend name, or a SnapshotError naming it."""
+    cls: Optional[type] = BACKEND_CLASSES.get(backend)
+    if cls is None:
+        raise SnapshotError(
+            f"{source} names unknown backend {backend!r}; known: "
+            f"{sorted(BACKEND_CLASSES)}"
+        )
+    return cls
 
-    Returns the path written.  The snapshot round-trips through
-    :func:`load_snapshot` into an estimator answering every query
-    bit-identically.
+
+def _estimator_sections(
+    estimator: Estimator,
+) -> Tuple[Dict[str, int], Callable[[str], bytes]]:
+    """The estimator's checkpoint sections: ``{name: generation}`` + loader.
+
+    Sharded engines expose ``checkpoint_generations``/``checkpoint_section``
+    (one section per shard, dirty-generation tracked); every other backend
+    falls back to a single always-dirty ``state`` section holding its full
+    ``state_dict``.
     """
-    payload = {
-        "format": SNAPSHOT_FORMAT,
-        "version": SNAPSHOT_VERSION,
-        "backend": backend_name(estimator),
-        "state": estimator.state_dict(),
-    }
-    path = Path(path)
-    # Write-then-rename so an interrupted save never truncates an existing
-    # snapshot (the CLI's ``ingest`` overwrites its input file by default).
+    generations_fn = getattr(estimator, "checkpoint_generations", None)
+    section_fn = getattr(estimator, "checkpoint_section", None)
+    if generations_fn is not None and section_fn is not None:
+        return generations_fn(), section_fn
+
+    def whole_state(name: str) -> bytes:
+        return pickle.dumps(estimator.state_dict(), protocol=pickle.HIGHEST_PROTOCOL)
+
+    return {"state": 0}, whole_state
+
+
+def _revive_from_sections(
+    backend: str, sections: Mapping[str, bytes], source: str
+) -> Estimator:
+    """Assemble an estimator from verified section payloads."""
+    cls: Type = _resolve_backend(backend, source)
+    assemble = getattr(cls, "from_checkpoint_sections", None)
+    try:
+        if assemble is not None:
+            return assemble(sections)
+        return cls.from_state(pickle.loads(sections["state"]))
+    except _PICKLE_ERRORS as error:
+        raise SnapshotError(
+            f"{source} holds an unreadable {backend!r} state: {error}"
+        ) from error
+
+
+def _write_atomic(path: Path, data: bytes) -> None:
+    """Temp-file → flush → fsync → atomic rename; never truncates ``path``."""
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "wb") as handle:
-            pickle.dump(payload, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.write(data)
+            handle.flush()
+            os.fsync(handle.fileno())
         os.replace(tmp, path)
     except BaseException:
         tmp.unlink(missing_ok=True)
         raise
+
+
+def save_snapshot(estimator: Estimator, path: Union[str, Path]) -> Path:
+    """Write a versioned, per-section-checksummed snapshot to ``path``.
+
+    Returns the path written.  The snapshot round-trips through
+    :func:`load_snapshot` into an estimator answering every query
+    bit-identically; a file damaged on disk afterwards (truncated, bit
+    flipped) is rejected at load with the damaged section named.
+    """
+    generations, section_fn = _estimator_sections(estimator)
+    names = sorted(generations)
+    payloads = [section_fn(name) for name in names]
+    header = {
+        "format": SNAPSHOT_FORMAT,
+        "version": SNAPSHOT_VERSION,
+        "backend": backend_name(estimator),
+        "payload_length": sum(len(data) for data in payloads),
+        "sections": [
+            {"name": name, "length": len(data), "crc32": zlib.crc32(data)}
+            for name, data in zip(names, payloads)
+        ],
+    }
+    # Checksums cover the true bytes; the durability fault sites mangle what
+    # is physically written, so an injected torn/corrupt write fails
+    # validation exactly like a real one.
+    body, _ = _faults.mangle_payload(b"".join(payloads))
+    path = Path(path)
+    _write_atomic(
+        path, pickle.dumps(header, protocol=pickle.HIGHEST_PROTOCOL) + body
+    )
     return path
 
 
 def load_snapshot(path: Union[str, Path]) -> Estimator:
-    """Revive the estimator stored at ``path``.
+    """Revive the estimator stored at ``path`` (version 2 or legacy 1).
 
     Raises:
         SnapshotError: if the file is not a repro snapshot, has an
-            unsupported version, or names an unknown backend.
+            unsupported version, names an unknown backend, is truncated, or
+            fails a section checksum.
     """
     try:
         with open(path, "rb") as handle:
-            payload = pickle.load(handle)
-    except (pickle.UnpicklingError, EOFError, AttributeError, ImportError, IndexError) as error:
-        raise SnapshotError(f"{path} is not a readable {SNAPSHOT_FORMAT} file: {error}") from error
-    if not isinstance(payload, dict) or payload.get("format") != SNAPSHOT_FORMAT:
+            header = pickle.load(handle)
+            body = handle.read()
+    except _PICKLE_ERRORS as error:
+        raise SnapshotError(
+            f"{path} is not a readable {SNAPSHOT_FORMAT} file: {error}"
+        ) from error
+    if not isinstance(header, dict) or header.get("format") != SNAPSHOT_FORMAT:
         raise SnapshotError(f"{path} is not a {SNAPSHOT_FORMAT} file")
-    version = payload.get("version")
+    version = header.get("version")
+    if version == 1:
+        # Legacy envelope: the whole file is one pickle, state in-band.
+        backend = header.get("backend")
+        cls = _resolve_backend(backend, str(path))
+        return cls.from_state(header["state"])
     if version != SNAPSHOT_VERSION:
         raise SnapshotError(
-            f"{path} has snapshot version {version!r}; this build reads version "
-            f"{SNAPSHOT_VERSION}"
+            f"{path} has snapshot version {version!r}; this build reads versions "
+            f"1 and {SNAPSHOT_VERSION}"
         )
-    backend = payload.get("backend")
-    cls: Type = BACKEND_CLASSES.get(backend)  # type: ignore[assignment]
-    if cls is None:
-        raise SnapshotError(
-            f"{path} names unknown backend {backend!r}; known: {sorted(BACKEND_CLASSES)}"
-        )
-    return cls.from_state(payload["state"])
+    _resolve_backend(header.get("backend"), str(path))  # fail fast on unknown
+    sections = _verify_sections(header["sections"], body, str(path))
+    return _revive_from_sections(header.get("backend"), sections, str(path))
+
+
+def _verify_sections(
+    listed: List[dict], body: bytes, source: str
+) -> Dict[str, bytes]:
+    """Slice + validate the concatenated section payloads of a v2 snapshot."""
+    sections: Dict[str, bytes] = {}
+    offset = 0
+    for entry in listed:
+        name, length = entry["name"], int(entry["length"])
+        data = body[offset : offset + length]
+        if len(data) != length:
+            raise SnapshotError(
+                f"{source} is truncated in section {name!r}: expected {length} "
+                f"bytes, found {len(data)}"
+            )
+        if zlib.crc32(data) != entry["crc32"]:
+            raise SnapshotError(
+                f"{source} failed the CRC32 checksum of section {name!r}; the "
+                "file is corrupt — restore from a good checkpoint"
+            )
+        sections[name] = data
+        offset += length
+    return sections
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint directories (incremental, crash-consistent)
+# ---------------------------------------------------------------------- #
+def save_checkpoint(estimator: Estimator, directory: Union[str, Path]) -> Path:
+    """Write (or incrementally update) a checkpoint directory.
+
+    Layout: one ``{section}-{generation}.bin`` file per section plus an
+    atomically-swapped ``MANIFEST.json`` naming the live files with their
+    lengths and CRC32 checksums.  Sections whose dirty generation matches
+    the existing manifest are carried forward untouched; superseded section
+    files are removed after the new manifest is in place.  A crash at any
+    point leaves the directory loading as either the old or the new
+    checkpoint, never a mix.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    backend = backend_name(estimator)
+    epoch = getattr(estimator, "checkpoint_epoch", None)
+    generations, section_fn = _estimator_sections(estimator)
+
+    carried: Dict[str, dict] = {}
+    previous = _read_manifest(directory, required=False)
+    if (
+        previous is not None
+        and epoch is not None
+        and previous.get("epoch") == epoch
+        and previous.get("backend") == backend
+    ):
+        carried = {entry["name"]: entry for entry in previous["sections"]}
+
+    entries: List[dict] = []
+    for name in sorted(generations):
+        generation = int(generations[name])
+        prior = carried.get(name)
+        if (
+            prior is not None
+            and int(prior["generation"]) == generation
+            and (directory / prior["file"]).exists()
+        ):
+            entries.append(prior)  # clean section: carry the file forward
+            continue
+        data = section_fn(name)
+        entry = {
+            "name": name,
+            "generation": generation,
+            "file": f"{name}-{generation}.bin",
+            "length": len(data),
+            "crc32": zlib.crc32(data),
+        }
+        # Checksum the true bytes, write the (possibly fault-mangled) bytes:
+        # an injected torn/corrupt section write must fail validation.
+        mangled, _ = _faults.mangle_payload(data)
+        _write_atomic(directory / entry["file"], mangled)
+        entries.append(entry)
+    manifest = {
+        "format": CHECKPOINT_FORMAT,
+        "version": CHECKPOINT_VERSION,
+        "backend": backend,
+        "epoch": epoch,
+        "sections": entries,
+    }
+    _write_atomic(
+        directory / MANIFEST_NAME, json.dumps(manifest, indent=2).encode("utf-8")
+    )
+    live = {entry["file"] for entry in entries}
+    for stale in directory.glob("*.bin"):
+        if stale.name not in live:
+            stale.unlink(missing_ok=True)
+    return directory
+
+
+def load_checkpoint(directory: Union[str, Path]) -> Estimator:
+    """Revive the estimator checkpointed in ``directory``.
+
+    Every section file is length- and CRC32-verified against the manifest
+    before any deserialization happens.
+
+    Raises:
+        SnapshotError: if the manifest is missing/malformed or any section
+            file is missing, truncated or corrupt (the section is named).
+    """
+    directory = Path(directory)
+    manifest = _read_manifest(directory, required=True)
+    sections: Dict[str, bytes] = {}
+    for entry in manifest["sections"]:
+        name = entry["name"]
+        path = directory / entry["file"]
+        try:
+            data = path.read_bytes()
+        except FileNotFoundError as error:
+            raise SnapshotError(
+                f"{directory} is missing checkpoint section {name!r} ({path.name})"
+            ) from error
+        if len(data) != int(entry["length"]):
+            raise SnapshotError(
+                f"{directory} section {name!r} is truncated: expected "
+                f"{entry['length']} bytes, found {len(data)} — the write was torn"
+            )
+        if zlib.crc32(data) != entry["crc32"]:
+            raise SnapshotError(
+                f"{directory} section {name!r} failed its CRC32 checksum; the "
+                "file is corrupt — restore from a good checkpoint"
+            )
+        sections[name] = data
+    return _revive_from_sections(manifest.get("backend"), sections, str(directory))
+
+
+def _read_manifest(directory: Path, required: bool) -> Optional[dict]:
+    """Read + validate ``MANIFEST.json``; ``None`` when absent/invalid and
+    not required (an interrupted first checkpoint simply rewrites fully)."""
+    path = directory / MANIFEST_NAME
+    try:
+        manifest = json.loads(path.read_text("utf-8"))
+    except FileNotFoundError:
+        if required:
+            raise SnapshotError(f"{directory} has no {MANIFEST_NAME}") from None
+        return None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        if required:
+            raise SnapshotError(
+                f"{directory}/{MANIFEST_NAME} is not valid JSON: {error}"
+            ) from error
+        return None
+    if (
+        not isinstance(manifest, dict)
+        or manifest.get("format") != CHECKPOINT_FORMAT
+        or not isinstance(manifest.get("sections"), list)
+    ):
+        if required:
+            raise SnapshotError(f"{directory} is not a {CHECKPOINT_FORMAT} directory")
+        return None
+    version = manifest.get("version")
+    if version != CHECKPOINT_VERSION:
+        if required:
+            raise SnapshotError(
+                f"{directory} has checkpoint version {version!r}; this build "
+                f"reads version {CHECKPOINT_VERSION}"
+            )
+        return None
+    return manifest

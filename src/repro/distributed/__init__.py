@@ -38,19 +38,23 @@ from repro.distributed.executor import (
     make_executor,
 )
 from repro.distributed.plan import ShardPlan
+from repro.distributed.recovery import BatchJournal, RecoveryPolicy, ShardSupervisor
 from repro.distributed.shard import SketchShard
 from repro.distributed.shared_memory import SharedMemoryExecutor
 
 __all__ = [
+    "BatchJournal",
     "BatchRouter",
     "InstrumentedExecutor",
     "PartitionGroup",
     "ProcessPoolExecutor",
+    "RecoveryPolicy",
     "RoutedBatch",
     "SequentialExecutor",
     "ShardExecutionError",
     "ShardExecutor",
     "ShardPlan",
+    "ShardSupervisor",
     "ShardedGSketch",
     "SharedMemoryExecutor",
     "SketchShard",

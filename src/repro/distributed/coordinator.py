@@ -26,11 +26,15 @@ same stream, for any shard count and any executor.  The parity tests in
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Sequence
+import math
+import pickle
+import uuid
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence
 
 import numpy as np
 
 from repro.core.config import GSketchConfig
+from repro.core.errors import degraded_union_bound
 from repro.core.estimator import ConfidenceInterval, intervals_from_arrays
 from repro.core.gsketch import (
     DEFAULT_BATCH_SIZE,
@@ -50,6 +54,7 @@ from repro.distributed.executor import (
     ShardExecutor,
 )
 from repro.distributed.plan import ShardPlan
+from repro.distributed.recovery import RecoveryPolicy, ShardSupervisor
 from repro.distributed.shard import SketchShard
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
@@ -83,6 +88,10 @@ class ShardedGSketch(PlanServingMixin):
         executor: execution backend; defaults to
             :class:`~repro.distributed.executor.SequentialExecutor`.
         plan: an explicit shard plan (overrides ``num_shards``).
+        recovery: a :class:`~repro.distributed.recovery.RecoveryPolicy`
+            enabling supervised recovery — journaled dispatch, bounded
+            worker restarts with replay, and (opt-in) degraded serving.
+            ``None`` (default) keeps the original fail-fast behaviour.
     """
 
     def __init__(
@@ -94,6 +103,7 @@ class ShardedGSketch(PlanServingMixin):
         num_shards: int = 2,
         executor: Optional[ShardExecutor] = None,
         plan: Optional[ShardPlan] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> None:
         self.config = config
         self.tree = tree
@@ -123,6 +133,19 @@ class ShardedGSketch(PlanServingMixin):
         self._started = False
         self._stale = False
         self._sync_failed = False
+        self._recovery = recovery
+        self._supervisor = (
+            ShardSupervisor(recovery, self.plan.num_shards)
+            if recovery is not None
+            else None
+        )
+        # Per-shard dirty generations for incremental checkpoints: bumped on
+        # every mutation that can change a shard's counters.  The epoch tag
+        # distinguishes generation counters of different engine instances —
+        # a revived engine restarts at generation 0, so cross-instance
+        # generation equality must never read as "section unchanged".
+        self._shard_generations = [0] * self.plan.num_shards
+        self._checkpoint_epoch = uuid.uuid4().hex
         self._init_query_plane()
 
     # ------------------------------------------------------------------ #
@@ -136,6 +159,7 @@ class ShardedGSketch(PlanServingMixin):
         num_shards: int = 2,
         executor: Optional[ShardExecutor] = None,
         stream_size_hint: Optional[int] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> "ShardedGSketch":
         """Partition with a data sample and spread the leaves over shards.
 
@@ -152,6 +176,7 @@ class ShardedGSketch(PlanServingMixin):
             stats=stats,
             num_shards=num_shards,
             executor=executor,
+            recovery=recovery,
         )
 
     @classmethod
@@ -160,6 +185,7 @@ class ShardedGSketch(PlanServingMixin):
         gsketch: GSketch,
         num_shards: int = 2,
         executor: Optional[ShardExecutor] = None,
+        recovery: Optional[RecoveryPolicy] = None,
     ) -> "ShardedGSketch":
         """Re-shard an existing (possibly populated) single-process sketch.
 
@@ -173,6 +199,7 @@ class ShardedGSketch(PlanServingMixin):
             stats=gsketch.stats,
             num_shards=num_shards,
             executor=executor,
+            recovery=recovery,
         )
         for partition, sketch in enumerate(gsketch.partitions):
             shard = sharded._shards[sharded.plan.shard_of(partition)]
@@ -227,26 +254,116 @@ class ShardedGSketch(PlanServingMixin):
             shard_index = int(self._shard_lookup[group.partition])
             work.setdefault(shard_index, []).append(group)
         clock.lap("route")
-        dispatch = getattr(self._executor, "apply_async", None)
-        try:
-            if dispatch is not None:
-                dispatch(self._shards, work)
-            else:
-                self._executor.apply(self._shards, work)
-        except ShardExecutionError:
-            # A worker died mid-batch: some shards may hold this batch while
-            # others never saw it.  Poison reads (they would silently serve
-            # inconsistent counters); a checkpoint restore recovers.
-            self._sync_failed = True
-            raise
+        if self._supervisor is not None:
+            dropped, dropped_outliers = self._dispatch_supervised(work)
+            counted = routed.num_elements - dropped
+            counted_outliers = routed.outlier_count - dropped_outliers
+        else:
+            dispatch = getattr(self._executor, "apply_async", None)
+            try:
+                if dispatch is not None:
+                    dispatch(self._shards, work)
+                else:
+                    self._executor.apply(self._shards, work)
+            except ShardExecutionError:
+                # A worker died mid-batch: some shards may hold this batch
+                # while others never saw it.  Poison reads (they would
+                # silently serve inconsistent counters); a checkpoint
+                # restore recovers.
+                self._sync_failed = True
+                raise
+            counted = routed.num_elements
+            counted_outliers = routed.outlier_count
         clock.lap("dispatch")
-        self._elements_processed += routed.num_elements
-        self._outlier_elements += routed.outlier_count
+        dead = self._supervisor.dead_shards if self._supervisor is not None else ()
+        for shard_index in work:
+            if shard_index not in dead:
+                self._shard_generations[shard_index] += 1
+        self._elements_processed += counted
+        self._outlier_elements += counted_outliers
         self._stale = True
         self._bump_generation()
         INGEST_BATCHES.inc()
-        INGEST_ELEMENTS.inc(routed.num_elements)
-        return routed.num_elements
+        INGEST_ELEMENTS.inc(counted)
+        if self._supervisor is not None and self._supervisor.needs_flush(self._executor):
+            # The journal bound forces a pipeline drain: once every retained
+            # entry is settled the journal is cleared / pruned.
+            self._synchronize()
+        return counted
+
+    def _dispatch_supervised(
+        self, work: Dict[int, List[PartitionGroup]]
+    ) -> "tuple[int, int]":
+        """Dispatch under supervision: journal, recover on failure, degrade.
+
+        Returns ``(dropped_elements, dropped_outlier_elements)`` — the part
+        of the batch that never reached a shard because its shard is (or
+        became) dead.  Everything else either applied directly or will apply
+        through journal replay after a successful recovery, so the engine's
+        element accounting stays truthful in both outcomes.
+        """
+        sup = self._supervisor
+        executor = self._executor
+        retention = getattr(executor, "journal_retention", "none")
+        dropped = 0
+        dropped_outliers = 0
+
+        def drop(shard_index: int, groups: Sequence[PartitionGroup]) -> None:
+            nonlocal dropped, dropped_outliers
+            sup.record_dropped(shard_index, groups)
+            for group in groups:
+                dropped += len(group)
+                if group.partition == OUTLIER_PARTITION:
+                    dropped_outliers += len(group)
+
+        live: Dict[int, Sequence[PartitionGroup]] = {}
+        for shard_index, groups in work.items():
+            if shard_index in sup.dead_shards:
+                drop(shard_index, groups)
+            else:
+                live[shard_index] = groups
+        if not live:
+            return dropped, dropped_outliers
+        seq = sup.journal.append(live) if retention != "none" else None
+        try:
+            for shard_index in sorted(live):
+                groups = live[shard_index]
+                try:
+                    self._dispatch_one(shard_index, groups, seq)
+                except ShardExecutionError:
+                    if sup.recover(executor, self._shards, shard_index):
+                        # Recovery replayed every journaled batch the shard
+                        # had not committed — including this one — so the
+                        # dispatch must not be repeated.
+                        continue
+                    if not sup.policy.degraded_serving:
+                        self._sync_failed = True
+                        raise
+                    sup.mark_dead(executor, shard_index)
+                    for group in groups:
+                        dropped += len(group)
+                        if group.partition == OUTLIER_PARTITION:
+                            dropped_outliers += len(group)
+        finally:
+            sup.after_dispatch(executor)
+        return dropped, dropped_outliers
+
+    def _dispatch_one(
+        self, shard_index: int, groups: Sequence[PartitionGroup], seq: Optional[int]
+    ) -> None:
+        """Dispatch one shard's groups, crediting scalar totals exactly once.
+
+        Pipelined executors are passed ``credit=False`` and credited here,
+        with the supervisor told which sequence the credit covers — journal
+        replay after a crash then knows not to credit the same batch twice.
+        """
+        dispatch = getattr(self._executor, "apply_async", None)
+        if dispatch is not None:
+            dispatch(self._shards, {shard_index: groups}, seq=seq, credit=False)
+            self._shards[shard_index].credit_groups(groups)
+            self._supervisor.note_credited(shard_index, seq)
+        else:
+            self._executor.apply(self._shards, {shard_index: groups})
 
     def update(self, source: Hashable, target: Hashable, frequency: float = 1.0) -> None:
         """Single-element convenience path (routes a one-element batch)."""
@@ -263,6 +380,12 @@ class ShardedGSketch(PlanServingMixin):
 
     def _ensure_started(self) -> None:
         if not self._started:
+            if (
+                self._recovery is not None
+                and self._recovery.ack_deadline_seconds is not None
+                and hasattr(self._executor, "ack_deadline")
+            ):
+                setattr(self._executor, "ack_deadline", self._recovery.ack_deadline_seconds)
             self._executor.start(self._shards)
             self._started = True
 
@@ -275,10 +398,37 @@ class ShardedGSketch(PlanServingMixin):
                 "Restore a checkpoint (load_shard_states / from_state) to "
                 "resume serving from known-good state."
             )
-        if self._stale:
-            with span("ingest", "flush", INGEST_STAGE["flush"]):
+        if not self._stale:
+            return
+        with span("ingest", "flush", INGEST_STAGE["flush"]):
+            if self._supervisor is None:
                 self._executor.sync(self._shards)
-            self._stale = False
+            else:
+                self._sync_supervised()
+        self._stale = False
+
+    def _sync_supervised(self) -> None:
+        """Drain / pull worker state, recovering (or degrading) on failure.
+
+        Each retry only has the previously-failed shard left unsettled: the
+        executors' ``sync`` keeps servicing healthy shards even when one
+        fails, so this loop terminates after at most one incident per shard.
+        """
+        sup = self._supervisor
+        while True:
+            try:
+                self._executor.sync(self._shards)
+                break
+            except ShardExecutionError as error:
+                failed = error.shard_index
+                if sup.recover(self._executor, self._shards, failed):
+                    continue
+                if sup.policy.degraded_serving:
+                    sup.mark_dead(self._executor, failed)
+                    continue
+                self._sync_failed = True
+                raise
+        sup.on_sync(self._executor)
 
     def flush(self) -> None:
         """Drain in-flight batches; coordinator state is authoritative after.
@@ -303,6 +453,8 @@ class ShardedGSketch(PlanServingMixin):
             self._started = False
         self._stale = False
         self._sync_failed = False  # checkpoint restore replaces any lost state
+        if self._supervisor is not None:
+            self._supervisor.reset()
 
     # ------------------------------------------------------------------ #
     # Queries
@@ -362,11 +514,31 @@ class ShardedGSketch(PlanServingMixin):
     def confidence_batch_with_partitions(
         self, edges: Sequence[EdgeKey]
     ) -> "tuple[List[ConfidenceInterval], List[int]]":
-        """Intervals plus the partition id that answered each edge."""
+        """Intervals plus the partition id that answered each edge.
+
+        Under degraded serving, queries answered by a dropped shard get
+        widened intervals: the shard's lost frequency mass becomes upper
+        slack (its counters may now *under*estimate by that much) and the
+        failure probability is union-bounded with a second ``e^-d`` term
+        (:func:`~repro.core.errors.degraded_union_bound`).
+        """
         if len(edges) == 0:
             return [], []
         estimates, bounds, failures, partitions = self._planned_confidence(edges)
-        return intervals_from_arrays(estimates, bounds, failures), partitions.tolist()
+        slacks = None
+        sup = self._supervisor
+        if sup is not None and sup.dead_shards:
+            shards_of = self._shard_lookup[partitions]
+            slacks = np.zeros_like(estimates)
+            failures = failures.copy()
+            extra = math.exp(-self.config.depth)
+            for dead in sup.dead_shards:
+                mask = shards_of == dead
+                if np.any(mask):
+                    slacks[mask] = sup.lost_frequency(dead)
+                    failures[mask] = degraded_union_bound(failures[mask], extra)
+        intervals = intervals_from_arrays(estimates, bounds, failures, slacks)
+        return intervals, partitions.tolist()
 
     def confidence_batch_direct(
         self, edges: Sequence[EdgeKey]
@@ -491,6 +663,7 @@ class ShardedGSketch(PlanServingMixin):
                 self._elements_processed += sketch.update_count
                 if partition == OUTLIER_PARTITION:
                     self._outlier_elements = sketch.update_count
+        self._mark_all_shards_dirty()
         self._bump_generation()
 
     def merge(self, other: "ShardedGSketch") -> None:
@@ -508,6 +681,7 @@ class ShardedGSketch(PlanServingMixin):
             mine.merge(theirs)
         self._elements_processed += other._elements_processed
         self._outlier_elements += other._outlier_elements
+        self._mark_all_shards_dirty()
         self._bump_generation()
         # Workers (if any) still hold the pre-merge state; respawn them from
         # the merged coordinator state on next use.
@@ -532,6 +706,79 @@ class ShardedGSketch(PlanServingMixin):
         gsketch._elements_processed = self._elements_processed
         gsketch._outlier_elements = self._outlier_elements
         return gsketch
+
+    # ------------------------------------------------------------------ #
+    # Incremental checkpoint sections
+    # ------------------------------------------------------------------ #
+    def _mark_all_shards_dirty(self) -> None:
+        self._shard_generations = [
+            generation + 1 for generation in self._shard_generations
+        ]
+
+    @property
+    def checkpoint_epoch(self) -> str:
+        """Instance tag scoping the generation counters in checkpoint manifests."""
+        return self._checkpoint_epoch
+
+    def checkpoint_generations(self) -> Dict[str, int]:
+        """Current dirty generation of every checkpoint section.
+
+        Sections: ``state`` (partitioning, plan, scalar counters — cheap,
+        rewritten whenever anything changed) and one ``shard-N`` per shard
+        (the counter tables — rewritten only when that shard ingested,
+        merged or restored since the manifest's generation).  Synchronizes
+        first so the reported generations describe final counters.
+        """
+        self._synchronize()
+        sections = {"state": int(self._plan_generation)}
+        for shard_index, generation in enumerate(self._shard_generations):
+            sections[f"shard-{shard_index}"] = int(generation)
+        return sections
+
+    def checkpoint_section(self, name: str) -> bytes:
+        """Serialize one checkpoint section named by :meth:`checkpoint_generations`."""
+        self._synchronize()
+        if name == "state":
+            meta = {
+                "config": self.config,
+                "tree": self.tree,
+                "router": self.router,
+                "stats": self.stats,
+                "plan": self.plan,
+                "elements_processed": self._elements_processed,
+                "outlier_elements": self._outlier_elements,
+            }
+            return pickle.dumps(meta, protocol=pickle.HIGHEST_PROTOCOL)
+        if name.startswith("shard-"):
+            return self._shards[int(name[len("shard-"):])].serialize()
+        raise KeyError(f"unknown checkpoint section {name!r}")
+
+    @classmethod
+    def from_checkpoint_sections(
+        cls,
+        sections: Mapping[str, bytes],
+        executor: Optional[ShardExecutor] = None,
+        recovery: Optional[RecoveryPolicy] = None,
+    ) -> "ShardedGSketch":
+        """Revive an engine from verified checkpoint section payloads."""
+        meta = pickle.loads(sections["state"])
+        engine = cls(
+            config=meta["config"],
+            tree=meta["tree"],
+            router=meta["router"],
+            stats=meta["stats"],
+            executor=executor,
+            plan=meta["plan"],
+            recovery=recovery,
+        )
+        for shard in engine._shards:
+            payload = sections.get(f"shard-{shard.index}")
+            if payload is None:
+                raise ValueError(f"checkpoint is missing section shard-{shard.index}")
+            shard.load_state_from(SketchShard.deserialize(payload))
+        engine._elements_processed = int(meta["elements_processed"])
+        engine._outlier_elements = int(meta["outlier_elements"])
+        return engine
 
     # ------------------------------------------------------------------ #
     # Lifecycle
@@ -588,6 +835,27 @@ class ShardedGSketch(PlanServingMixin):
         return self.plan.num_partitions
 
     @property
+    def degraded(self) -> bool:
+        """Whether any shard was dropped (degraded serving is active)."""
+        return self._supervisor is not None and bool(self._supervisor.dead_shards)
+
+    @property
+    def dead_shards(self) -> "tuple[int, ...]":
+        """Shards abandoned after retry exhaustion, in index order."""
+        if self._supervisor is None:
+            return ()
+        return tuple(sorted(self._supervisor.dead_shards))
+
+    @property
+    def recovery_policy(self) -> Optional[RecoveryPolicy]:
+        return self._recovery
+
+    @property
+    def supervisor(self) -> Optional[ShardSupervisor]:
+        """The recovery driver (``None`` without a recovery policy)."""
+        return self._supervisor
+
+    @property
     def elements_processed(self) -> int:
         return self._elements_processed
 
@@ -632,7 +900,7 @@ class ShardedGSketch(PlanServingMixin):
                 **sketch_health(self._sketch_for_partition(OUTLIER_PARTITION)),
             }
         )
-        return {
+        snapshot = {
             "backend": "sharded",
             "elements_processed": elements,
             "outlier_elements": self._outlier_elements,
@@ -644,6 +912,9 @@ class ShardedGSketch(PlanServingMixin):
             "tables": tables,
             **self._plan_telemetry(),
         }
+        if self._supervisor is not None:
+            snapshot["recovery"] = self._supervisor.telemetry()
+        return snapshot
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

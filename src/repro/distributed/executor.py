@@ -29,15 +29,21 @@ from __future__ import annotations
 
 import concurrent.futures
 import multiprocessing
+import multiprocessing.process
 import time
 import traceback
 import warnings
-from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Union
+from typing import Dict, List, Mapping, Optional, Protocol, Sequence, Set, Union
 
+from repro import faults as _faults
 from repro.core.batch_router import PartitionGroup
 from repro.distributed.shard import SketchShard
 from repro.observability.instruments import INGEST_STAGE
 from repro.observability.tracing import span
+
+#: Default seconds granted to a worker to exit on its own before escalation
+#: (terminate, then kill) in :func:`reap_workers`.
+DEFAULT_TEARDOWN_DEADLINE = 5.0
 
 
 class ShardExecutionError(RuntimeError):
@@ -76,19 +82,36 @@ def send_to_worker(process, pipe, shard_index: int, message: tuple, lost_note: s
         ) from exc
 
 
-def await_worker_reply(process, pipe, shard_index: int, expected: str, lost_note: str):
+def await_worker_reply(
+    process,
+    pipe,
+    shard_index: int,
+    expected: str,
+    lost_note: str,
+    deadline: Optional[float] = None,
+):
     """Receive one ``(kind, payload)`` worker reply, detecting death while waiting.
 
     Polls instead of blocking so a worker that dies without replying turns
     into :class:`ShardExecutionError` rather than a hang; an ``"error"``
-    reply (worker-side traceback) raises likewise.  Returns the payload.
+    reply (worker-side traceback) raises likewise.  With ``deadline`` set,
+    a *live* worker that fails to reply within that many seconds raises
+    too — the only way a dropped or pathologically slow acknowledgement
+    becomes a detectable failure.  Returns the payload.
     """
+    begin = time.monotonic()
     while not pipe.poll(0.1):
         if not process.is_alive() and not pipe.poll(0.0):
             raise ShardExecutionError(
                 shard_index,
                 f"worker process died (exit code {process.exitcode}) "
                 f"before acknowledging; {lost_note}",
+            )
+        if deadline is not None and time.monotonic() - begin >= deadline:
+            raise ShardExecutionError(
+                shard_index,
+                f"no acknowledgement within {deadline:.2f}s (ack deadline); "
+                f"{lost_note}",
             )
     try:
         kind, payload = pipe.recv()
@@ -105,13 +128,20 @@ def await_worker_reply(process, pipe, shard_index: int, expected: str, lost_note
     return payload
 
 
-def reap_workers(pipes: Sequence, processes: Sequence) -> None:
+def reap_workers(
+    pipes: Sequence,
+    processes: Sequence,
+    deadline: float = DEFAULT_TEARDOWN_DEADLINE,
+) -> None:
     """Stop, join and force-terminate workers; tolerates crashed ones.
 
     The ``stop`` message is best-effort (a dead worker's pipe raises and is
-    ignored); surviving workers drain their queued work first (pipe FIFO),
-    are joined, and are terminated only as a last resort.  ``None`` entries
-    (empty shards) are skipped.  Safe to call repeatedly.
+    ignored); surviving workers drain their queued work first (pipe FIFO)
+    and get ``deadline`` seconds to exit on their own.  Escalation is
+    terminate (SIGTERM, brief join) and finally ``kill()`` (SIGKILL) — a
+    worker that ignores SIGTERM (stuck in an uninterruptible syscall, or a
+    masked handler) can therefore never leak as a zombie past ``close()``.
+    ``None`` entries (empty shards) are skipped.  Safe to call repeatedly.
     """
     for pipe in pipes:
         if pipe is None:
@@ -123,10 +153,13 @@ def reap_workers(pipes: Sequence, processes: Sequence) -> None:
     for process in processes:
         if process is None:
             continue
-        process.join(timeout=5.0)
+        process.join(timeout=deadline)
         if process.is_alive():  # pragma: no cover - defensive
             process.terminate()
-            process.join(timeout=1.0)
+            process.join(timeout=min(1.0, deadline))
+        if process.is_alive():  # pragma: no cover - defensive
+            process.kill()
+            process.join(timeout=deadline)
     for pipe in pipes:
         if pipe is None:
             continue
@@ -215,7 +248,22 @@ class SequentialExecutor:
     ) -> None:
         with span("ingest", "apply", INGEST_STAGE["apply"], executor="sequential"):
             for shard_index in sorted(work):
+                # In-process "crashes" are simulated as shard failures: the
+                # same injection sites as the worker backends, surfacing as
+                # the same error type, without killing the coordinator.
+                if _faults._PLAN is not None and _faults.should_fire(
+                    _faults.SITE_CRASH_BEFORE_APPLY, shard_index
+                ):
+                    raise ShardExecutionError(
+                        shard_index, "injected fault: crash before apply"
+                    )
                 shards[shard_index].apply(work[shard_index])
+                if _faults._PLAN is not None and _faults.should_fire(
+                    _faults.SITE_CRASH_AFTER_APPLY, shard_index
+                ):
+                    raise ShardExecutionError(
+                        shard_index, "injected fault: crash after apply"
+                    )
 
     def sync(self, shards: Sequence[SketchShard]) -> None:
         pass
@@ -353,8 +401,12 @@ class InstrumentedExecutor:
         self.inner.close()
 
 
-def _shard_worker(conn, payload: bytes) -> None:
+def _shard_worker(conn, payload: bytes, fault_plan=None) -> None:
     """Worker-process loop: own one shard, serve apply/state requests."""
+    # Install unconditionally: a forked worker inherits the coordinator's
+    # module-level plan, so ``None`` must actively clear it (a restarted
+    # worker only keeps the specs ``restart_plan`` chose to ship).
+    _faults.install(fault_plan)
     try:
         shard = SketchShard.deserialize(payload)
     except Exception:  # noqa: BLE001 - report construction failures too
@@ -366,7 +418,14 @@ def _shard_worker(conn, payload: bytes) -> None:
         kind = message[0]
         try:
             if kind == "apply":
+                if _faults._PLAN is not None:
+                    _faults.crash_point(_faults.SITE_CRASH_BEFORE_APPLY, shard.index)
                 shard.apply(message[1])
+                if _faults._PLAN is not None:
+                    _faults.crash_point(_faults.SITE_CRASH_AFTER_APPLY, shard.index)
+                    if _faults.should_fire(_faults.SITE_DROP_ACK, shard.index):
+                        continue
+                    _faults.maybe_slow_ack(shard.index)
                 conn.send(("ok", None))
             elif kind == "state":
                 conn.send(("state", shard.serialize()))
@@ -391,36 +450,65 @@ class ProcessPoolExecutor:
     Args:
         mp_context: multiprocessing start method (``"fork"`` where available
             is fastest; ``None`` uses the platform default).
+        ack_deadline: seconds to wait for a live worker's acknowledgement
+            before declaring the shard failed (``None`` waits indefinitely;
+            the supervisor sets this from its
+            :class:`~repro.distributed.recovery.RecoveryPolicy`).
+        teardown_deadline: seconds granted to a worker to exit on its own
+            during :meth:`close`/restart before terminate-then-kill
+            escalation.
     """
 
-    def __init__(self, mp_context: Optional[str] = None) -> None:
+    #: Journal entries stay replay-relevant until the next :meth:`sync`
+    #: (worker state since the last sync dies with the worker).
+    journal_retention = "sync"
+
+    def __init__(
+        self,
+        mp_context: Optional[str] = None,
+        ack_deadline: Optional[float] = None,
+        teardown_deadline: float = DEFAULT_TEARDOWN_DEADLINE,
+    ) -> None:
         self._ctx = multiprocessing.get_context(mp_context)
-        self._workers: List[multiprocessing.Process] = []
+        self._workers: List[Optional[multiprocessing.process.BaseProcess]] = []
         self._pipes: List = []
+        self._dead: Set[int] = set()
         self._started = False
+        self.ack_deadline = ack_deadline
+        self.teardown_deadline = teardown_deadline
+
+    def _spawn(self, shard: SketchShard, fault_plan=None):
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_shard_worker,
+            args=(child_conn, shard.serialize(), fault_plan),
+            daemon=True,
+            name=f"sketch-shard-{shard.index}",
+        )
+        process.start()
+        child_conn.close()
+        return process, parent_conn
 
     def start(self, shards: Sequence[SketchShard]) -> None:
         if self._started:
             return
+        plan = _faults.current_plan()
         for shard in shards:
-            parent_conn, child_conn = self._ctx.Pipe()
-            process = self._ctx.Process(
-                target=_shard_worker,
-                args=(child_conn, shard.serialize()),
-                daemon=True,
-                name=f"sketch-shard-{shard.index}",
-            )
-            process.start()
-            child_conn.close()
+            process, pipe = self._spawn(shard, plan)
             self._workers.append(process)
-            self._pipes.append(parent_conn)
+            self._pipes.append(pipe)
         self._started = True
 
     _LOST_NOTE = "updates since the last sync are lost"
 
     def _send(self, shard_index: int, message: tuple) -> None:
+        process = self._workers[shard_index]
+        if process is None:
+            raise ShardExecutionError(
+                shard_index, "shard abandoned after retry exhaustion (degraded)"
+            )
         send_to_worker(
-            self._workers[shard_index],
+            process,
             self._pipes[shard_index],
             shard_index,
             message,
@@ -434,6 +522,7 @@ class ProcessPoolExecutor:
             shard_index,
             expected,
             self._LOST_NOTE,
+            deadline=self.ack_deadline,
         )
 
     def apply(
@@ -453,15 +542,84 @@ class ProcessPoolExecutor:
     def sync(self, shards: Sequence[SketchShard]) -> None:
         if not self._started:
             return
+        # Pull every healthy shard even when one fails: the pending replies
+        # are consumed either way, so the pipes stay request/reply aligned
+        # and a supervised retry after recovery starts from a clean slate.
+        failure: Optional[ShardExecutionError] = None
+        sent = []
         for shard_index in range(len(self._pipes)):
-            self._send(shard_index, ("state",))
-        for shard_index, shard in enumerate(shards):
-            payload = self._expect(shard_index, "state")
-            shard.load_state_from(SketchShard.deserialize(payload))
+            if shard_index in self._dead:
+                continue
+            try:
+                self._send(shard_index, ("state",))
+                sent.append(shard_index)
+            except ShardExecutionError as error:
+                if failure is None:
+                    failure = error
+        for shard_index in sent:
+            try:
+                payload = self._expect(shard_index, "state")
+            except ShardExecutionError as error:
+                if failure is None:
+                    failure = error
+                continue
+            shards[shard_index].load_state_from(SketchShard.deserialize(payload))
+        if failure is not None:
+            raise failure
+
+    # -- supervised recovery (driven by ShardSupervisor) ---------------- #
+    def restart_shard(
+        self, shards: Sequence[SketchShard], shard_index: int
+    ) -> Optional[int]:
+        """Respawn one shard's worker from the coordinator-resident state.
+
+        The dead worker held every batch applied since the last sync; the
+        respawn re-seeds from the shard's last checkpointed (synced) state,
+        so the supervisor must replay *all* journaled batches for this
+        shard (returns ``None``: no applied-sequence watermark exists).
+        """
+        if not self._started:
+            raise ShardExecutionError(shard_index, "executor not started")
+        reap_workers(
+            [self._pipes[shard_index]],
+            [self._workers[shard_index]],
+            deadline=self.teardown_deadline,
+        )
+        process, pipe = self._spawn(shards[shard_index], _faults.restart_plan())
+        self._workers[shard_index] = process
+        self._pipes[shard_index] = pipe
+        return None
+
+    def replay(
+        self,
+        shards: Sequence[SketchShard],
+        shard_index: int,
+        groups: Sequence[PartitionGroup],
+        seq: Optional[int] = None,
+    ) -> None:
+        """Re-apply one journaled batch to a freshly restarted worker."""
+        self._send(shard_index, ("apply", list(groups)))
+        self._expect(shard_index, "ok")
+
+    def mark_failed(self, shard_index: int) -> None:
+        """Abandon a shard (degraded serving): reap its worker for good.
+
+        The coordinator-resident shard keeps serving its last synced
+        counters; ingest routed to this shard is dropped upstream.
+        """
+        reap_workers(
+            [self._pipes[shard_index]],
+            [self._workers[shard_index]],
+            deadline=self.teardown_deadline,
+        )
+        self._workers[shard_index] = None
+        self._pipes[shard_index] = None
+        self._dead.add(shard_index)
 
     def close(self) -> None:
         """Stop all workers; safe to call repeatedly, even after a crash."""
-        reap_workers(self._pipes, self._workers)
+        reap_workers(self._pipes, self._workers, deadline=self.teardown_deadline)
         self._workers = []
         self._pipes = []
+        self._dead = set()
         self._started = False

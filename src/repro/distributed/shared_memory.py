@@ -63,14 +63,17 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
+from collections import deque
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Deque, Dict, List, Mapping, Optional, Sequence, Set
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.core.batch_router import PartitionGroup
 from repro.distributed.executor import (
+    DEFAULT_TEARDOWN_DEADLINE,
     ShardExecutionError,
     await_worker_reply,
     reap_workers,
@@ -179,6 +182,7 @@ class ArenaSpec:
 
     Attributes:
         shm_name: name of the shared-memory block holding the arena.
+        shard_index: the shard this arena belongs to (fault-site scoping).
         depth: sketch depth (rows); identical for every sketch in a shard.
         total_width: total columns across the shard's sketches.
         offsets: per-slot first column in the arena, ``int64 (nslots,)``.
@@ -187,9 +191,15 @@ class ArenaSpec:
         hash_b: per-row, per-slot hash coefficients ``b``, ``uint64 (depth, nslots)``.
         conservative: whether the shard's sketches use conservative update
             (falls back to the sequential per-element kernel).
+        seq_slot_offset: byte offset of the 8-byte applied-sequence slot at
+            the end of the arena block.  The worker commits the dispatch
+            sequence number there *after* applying a batch, so a restarted
+            worker's supervisor can read exactly which journaled batches
+            reached the shared counters (crash-consistent replay watermark).
     """
 
     shm_name: str
+    shard_index: int
     depth: int
     total_width: int
     offsets: np.ndarray
@@ -197,6 +207,7 @@ class ArenaSpec:
     hash_a: np.ndarray
     hash_b: np.ndarray
     conservative: bool
+    seq_slot_offset: int
 
 
 def _apply_fused(
@@ -263,8 +274,17 @@ def _apply_conservative(
         arena[rows, cells] = current
 
 
-def _arena_worker(conn, spec: ArenaSpec) -> None:
-    """Worker-process loop: attach the arena, apply shipped column batches."""
+def _arena_worker(conn, spec: ArenaSpec, fault_plan=None) -> None:
+    """Worker-process loop: attach the arena, apply shipped column batches.
+
+    Commit order per batch — apply counters, write the applied-sequence
+    slot, acknowledge — so at any crash point the seq slot tells the
+    supervisor exactly which journaled batches are already in the arena.
+    """
+    # Install unconditionally: a forked worker inherits the coordinator's
+    # module-level plan, so ``None`` must actively clear it (a restarted
+    # worker only keeps the specs ``restart_plan`` chose to ship).
+    _faults.install(fault_plan)
     try:
         # Attaching re-registers the block with the resource tracker, which
         # is shared across the process tree (fork and spawn alike): the
@@ -274,34 +294,56 @@ def _arena_worker(conn, spec: ArenaSpec) -> None:
         arena: Optional[np.ndarray] = np.ndarray(
             (spec.depth, spec.total_width), dtype=np.float64, buffer=shm.buf
         )
+        seq_view: Optional[np.ndarray] = np.ndarray(
+            (1,), dtype=np.uint64, buffer=shm.buf, offset=spec.seq_slot_offset
+        )
     except Exception:  # noqa: BLE001 - report attach failures to the parent
         conn.send(("error", traceback.format_exc()))
         conn.close()
         return
     staging_shm = None
     staged = None
+
+    def _commit_and_ack(seq: Optional[int]) -> None:
+        if seq is not None:
+            seq_view[0] = seq
+        if _faults._PLAN is not None:
+            _faults.crash_point(_faults.SITE_CRASH_AFTER_APPLY, spec.shard_index)
+            if _faults.should_fire(_faults.SITE_DROP_ACK, spec.shard_index):
+                return
+            _faults.maybe_slow_ack(spec.shard_index)
+        conn.send(("ok", None))
+
     try:
         while True:
             message = conn.recv()
             kind = message[0]
             try:
                 if kind == "apply_shm":
-                    _, segment, count = message
+                    _, segment, count, seq = message
                     slots = staged[0][segment, :count]
                     keys = staged[1][segment, :count]
                     counts = staged[2][segment, :count]
+                    if _faults._PLAN is not None:
+                        _faults.crash_point(
+                            _faults.SITE_CRASH_BEFORE_APPLY, spec.shard_index
+                        )
                     if spec.conservative:
                         _apply_conservative(arena, spec, slots, keys, counts)
                     else:
                         _apply_fused(arena, spec, slots, keys, counts)
-                    conn.send(("ok", None))
+                    _commit_and_ack(seq)
                 elif kind == "apply":
-                    _, slots, keys, counts = message
+                    _, slots, keys, counts, seq = message
+                    if _faults._PLAN is not None:
+                        _faults.crash_point(
+                            _faults.SITE_CRASH_BEFORE_APPLY, spec.shard_index
+                        )
                     if spec.conservative:
                         _apply_conservative(arena, spec, slots, keys, counts)
                     else:
                         _apply_fused(arena, spec, slots, keys, counts)
-                    conn.send(("ok", None))
+                    _commit_and_ack(seq)
                 elif kind == "staging":
                     _, name, segments, capacity = message
                     staging_shm = shared_memory.SharedMemory(name=name)
@@ -316,6 +358,7 @@ def _arena_worker(conn, spec: ArenaSpec) -> None:
         pass
     finally:
         arena = None  # release the buffer views before unmapping
+        seq_view = None
         staged = None
         shm.close()
         if staging_shm is not None:
@@ -339,12 +382,25 @@ class SharedMemoryExecutor:
             default; ``"fork"`` is fastest where available).
         max_pending: batches allowed in flight per shard before dispatch
             blocks on the oldest acknowledgement (≥ 1; 2 = double buffering).
+        ack_deadline: seconds to wait for a live worker's acknowledgement
+            before declaring the shard failed (``None`` waits indefinitely;
+            the supervisor sets this from its
+            :class:`~repro.distributed.recovery.RecoveryPolicy`).
+        teardown_deadline: seconds granted to a worker to exit on its own
+            during :meth:`close`/restart before terminate-then-kill
+            escalation.
     """
+
+    #: Journal entries stay replay-relevant only until acknowledged: applied
+    #: counters live in the shared arena, which survives a worker crash.
+    journal_retention = "ack"
 
     def __init__(
         self,
         mp_context: Optional[str] = None,
         max_pending: int = DEFAULT_MAX_PENDING,
+        ack_deadline: Optional[float] = None,
+        teardown_deadline: float = DEFAULT_TEARDOWN_DEADLINE,
     ) -> None:
         if max_pending < 1:
             raise ValueError(f"max_pending must be >= 1, got {max_pending}")
@@ -358,7 +414,14 @@ class SharedMemoryExecutor:
         self._slot_of: List[Dict[int, int]] = []
         self._outstanding: List[int] = []
         self._dispatched: List[int] = []
+        self._specs: List[Optional[ArenaSpec]] = []
+        self._seq_views: List[Optional[np.ndarray]] = []
+        self._inflight: List[Deque[Optional[int]]] = []
+        self._acked: List[Optional[int]] = []
+        self._dead: Set[int] = set()
         self._started = False
+        self.ack_deadline = ack_deadline
+        self.teardown_deadline = teardown_deadline
         # Instrumentation (read by the throughput benchmark's breakdown).
         self.dispatch_seconds = 0.0
         self.stall_seconds = 0.0
@@ -401,6 +464,10 @@ class SharedMemoryExecutor:
             self._slot_of.append({})
             self._outstanding.append(0)
             self._dispatched.append(0)
+            self._specs.append(None)
+            self._seq_views.append(None)
+            self._inflight.append(deque())
+            self._acked.append(None)
             return
         sketches = [shard.sketch_for(partition) for partition in partitions]
         depth = sketches[0].depth
@@ -420,11 +487,15 @@ class SharedMemoryExecutor:
             hash_a[:, slot] = a
             hash_b[:, slot] = b
 
-        shm = shared_memory.SharedMemory(create=True, size=depth * total_width * 8)
+        # The arena block carries an 8-byte applied-sequence slot after the
+        # counter tables — the worker's crash-consistent replay watermark.
+        seq_slot_offset = depth * total_width * 8
+        shm = shared_memory.SharedMemory(create=True, size=seq_slot_offset + 8)
         attached: List[CountMinSketch] = []
         staging = None
         process = None
         parent_conn = None
+        seq_view = None
         try:
             arena = np.ndarray((depth, total_width), dtype=np.float64, buffer=shm.buf)
             for slot, sketch in enumerate(sketches):
@@ -432,9 +503,13 @@ class SharedMemoryExecutor:
                 sketch.attach_table(arena[:, lo : lo + int(widths[slot])])
                 attached.append(sketch)
             del arena  # sketches hold the only remaining views
+            seq_view = np.ndarray(
+                (1,), dtype=np.uint64, buffer=shm.buf, offset=seq_slot_offset
+            )
 
             spec = ArenaSpec(
                 shm_name=shm.name,
+                shard_index=shard.index,
                 depth=depth,
                 total_width=total_width,
                 offsets=offsets,
@@ -442,11 +517,12 @@ class SharedMemoryExecutor:
                 hash_a=hash_a,
                 hash_b=hash_b,
                 conservative=any(sketch.conservative for sketch in sketches),
+                seq_slot_offset=seq_slot_offset,
             )
             parent_conn, child_conn = self._ctx.Pipe()
             process = self._ctx.Process(
                 target=_arena_worker,
-                args=(child_conn, spec),
+                args=(child_conn, spec, _faults.current_plan()),
                 daemon=True,
                 name=f"sketch-arena-{shard.index}",
             )
@@ -474,6 +550,7 @@ class SharedMemoryExecutor:
                 reap_workers([parent_conn], [process])
             elif parent_conn is not None:
                 parent_conn.close()
+            seq_view = None
             _release_shm(shm)
             raise
         self._workers.append(process)
@@ -486,6 +563,10 @@ class SharedMemoryExecutor:
         )
         self._outstanding.append(0)
         self._dispatched.append(0)
+        self._specs.append(spec)
+        self._seq_views.append(seq_view)
+        self._inflight.append(deque())
+        self._acked.append(0)
 
     def close(self) -> None:
         """Tear down workers and arenas; idempotent and safe after a crash.
@@ -496,10 +577,11 @@ class SharedMemoryExecutor:
         so engine state survives teardown bit-for-bit and a later
         :meth:`start` (or snapshot) picks up exactly where ingestion stopped.
         """
-        reap_workers(self._pipes, self._workers)
+        reap_workers(self._pipes, self._workers, deadline=self.teardown_deadline)
         for sketches in self._attached:
             for sketch in sketches:
                 sketch.detach_table()
+        self._seq_views = []  # release seq views before unlinking the arenas
         for shm in self._shms:
             if shm is not None:
                 _release_shm(shm)
@@ -514,6 +596,10 @@ class SharedMemoryExecutor:
         self._slot_of = []
         self._outstanding = []
         self._dispatched = []
+        self._specs = []
+        self._inflight = []
+        self._acked = []
+        self._dead = set()
         self._started = False
 
     # ------------------------------------------------------------------ #
@@ -523,12 +609,17 @@ class SharedMemoryExecutor:
         self,
         shards: Sequence[SketchShard],
         work: Mapping[int, Sequence[PartitionGroup]],
+        seq: Optional[int] = None,
+        credit: bool = True,
     ) -> None:
         """Credit + dispatch one batch without waiting for workers to apply it.
 
         At most ``max_pending`` batches stay in flight per shard; beyond
         that, dispatch blocks on the oldest acknowledgement (backpressure).
         State is consistent again once :meth:`sync` has drained the pipeline.
+        A supervised coordinator passes its journal sequence number as
+        ``seq`` (committed by the worker after apply) and ``credit=False``
+        so it can credit scalar totals itself, exactly once, after the send.
         """
         if not self._started:
             self.start(shards)
@@ -540,10 +631,11 @@ class SharedMemoryExecutor:
                 stall_begin = time.perf_counter()
                 self._await_ack(shard_index)
                 stalled += time.perf_counter() - stall_begin
-            self._dispatch(shard_index, groups)
+            self._dispatch(shard_index, groups, seq)
             # Credit only after a successful send: a dispatch that raises must
             # not leave totals accounting for counters that never shipped.
-            shards[shard_index].credit_groups(groups)
+            if credit:
+                shards[shard_index].credit_groups(groups)
             self._outstanding[shard_index] += 1
         dispatched = time.perf_counter() - begin - stalled
         self.batches += 1
@@ -577,15 +669,31 @@ class SharedMemoryExecutor:
         if not self._started:
             return
         begin = time.perf_counter()
+        # Drain every healthy shard even when one fails, so a supervised
+        # retry after recovery only has the failed shard left outstanding.
+        failure: Optional[ShardExecutionError] = None
         for shard_index in range(len(self._outstanding)):
-            self._drain(shard_index)
+            if shard_index in self._dead:
+                continue
+            try:
+                self._drain(shard_index)
+            except ShardExecutionError as error:
+                if failure is None:
+                    failure = error
         drained = time.perf_counter() - begin
         self.stall_seconds += drained
         if _obs._ENABLED:
             _SHM_STALL_SECONDS.inc(drained)
             get_recorder().record("ingest", "shm_drain", drained)
+        if failure is not None:
+            raise failure
 
-    def _dispatch(self, shard_index: int, groups: Sequence[PartitionGroup]) -> None:
+    def _dispatch(
+        self,
+        shard_index: int,
+        groups: Sequence[PartitionGroup],
+        seq: Optional[int] = None,
+    ) -> None:
         """Ship one shard's routed columns: slot ids, uint64 keys, counts.
 
         The columns are written group by group into the next staging-ring
@@ -609,7 +717,7 @@ class SharedMemoryExecutor:
                 seg_keys[position:end] = group.keys
                 seg_counts[position:end] = group.counts
                 position = end
-            self._send(shard_index, ("apply_shm", segment, total))
+            self._send(shard_index, ("apply_shm", segment, total, seq))
         else:  # pragma: no cover - requires batches beyond staging capacity
             slots = np.concatenate(
                 [
@@ -619,8 +727,9 @@ class SharedMemoryExecutor:
             )
             keys = np.concatenate([group.keys for group in groups])
             counts = np.concatenate([group.counts for group in groups])
-            self._send(shard_index, ("apply", slots, keys, counts))
+            self._send(shard_index, ("apply", slots, keys, counts, seq))
         self._dispatched[shard_index] += 1
+        self._inflight[shard_index].append(seq)
 
     # ------------------------------------------------------------------ #
     # Worker I/O (with death detection)
@@ -646,12 +755,115 @@ class SharedMemoryExecutor:
             shard_index,
             "ok",
             self._LOST_NOTE,
+            deadline=self.ack_deadline,
         )
         self._outstanding[shard_index] -= 1
+        # Acks arrive in dispatch order (one pipe, FIFO worker loop), so the
+        # oldest in-flight sequence number is the one being acknowledged.
+        inflight = self._inflight[shard_index]
+        if inflight:
+            seq = inflight.popleft()
+            if seq is not None:
+                self._acked[shard_index] = seq
 
     def _drain(self, shard_index: int) -> None:
         while self._outstanding[shard_index] > 0:
             self._await_ack(shard_index)
+
+    # ------------------------------------------------------------------ #
+    # Supervised recovery (driven by ShardSupervisor)
+    # ------------------------------------------------------------------ #
+    def acked_seq(self, shard_index: int) -> Optional[int]:
+        """Highest journal sequence acknowledged by this shard's worker."""
+        return self._acked[shard_index]
+
+    def applied_seq(self, shard_index: int) -> Optional[int]:
+        """Highest journal sequence *committed to the arena* by the worker.
+
+        Read from the arena's applied-sequence slot — valid even when the
+        worker just died, which is exactly when the supervisor needs it.
+        """
+        seq_view = self._seq_views[shard_index]
+        return None if seq_view is None else int(seq_view[0])
+
+    def restart_shard(
+        self, shards: Sequence[SketchShard], shard_index: int
+    ) -> Optional[int]:
+        """Respawn one shard's worker onto the surviving arena.
+
+        The arena (counters + applied-sequence slot) outlives the worker, so
+        recovery is: reap the corpse, fork a fresh worker against the same
+        :class:`ArenaSpec`, re-announce the staging ring, and report the
+        arena's applied-sequence watermark — the supervisor replays only
+        journal entries after it.
+        """
+        if not self._started:
+            raise ShardExecutionError(shard_index, "executor not started")
+        spec = self._specs[shard_index]
+        if spec is None:
+            raise ShardExecutionError(shard_index, "no worker (empty shard)")
+        reap_workers(
+            [self._pipes[shard_index]],
+            [self._workers[shard_index]],
+            deadline=self.teardown_deadline,
+        )
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_arena_worker,
+            args=(child_conn, spec, _faults.restart_plan()),
+            daemon=True,
+            name=f"sketch-arena-{shard_index}",
+        )
+        process.start()
+        child_conn.close()
+        self._workers[shard_index] = process
+        self._pipes[shard_index] = parent_conn
+        staging = self._stagings[shard_index]
+        if staging is not None:
+            send_to_worker(
+                process,
+                parent_conn,
+                shard_index,
+                ("staging", staging.shm.name, staging.segments, staging.capacity),
+                self._LOST_NOTE,
+            )
+        # Everything that was in flight either committed (visible through the
+        # seq slot) or died with the worker; nothing is awaiting an ack now.
+        self._outstanding[shard_index] = 0
+        self._inflight[shard_index] = deque()
+        applied = self.applied_seq(shard_index)
+        self._acked[shard_index] = applied
+        return applied
+
+    def replay(
+        self,
+        shards: Sequence[SketchShard],
+        shard_index: int,
+        groups: Sequence[PartitionGroup],
+        seq: Optional[int] = None,
+    ) -> None:
+        """Re-apply one journaled batch synchronously (no double crediting)."""
+        self._dispatch(shard_index, groups, seq)
+        self._outstanding[shard_index] += 1
+        self._drain(shard_index)
+
+    def mark_failed(self, shard_index: int) -> None:
+        """Abandon a shard (degraded serving): reap its worker for good.
+
+        The arena, attached sketches, staging ring and seq view are kept —
+        acknowledged counters keep serving queries through the coordinator's
+        arena views; only ingest to this shard stops (dropped upstream).
+        """
+        reap_workers(
+            [self._pipes[shard_index]],
+            [self._workers[shard_index]],
+            deadline=self.teardown_deadline,
+        )
+        self._workers[shard_index] = None
+        self._pipes[shard_index] = None
+        self._outstanding[shard_index] = 0
+        self._inflight[shard_index] = deque()
+        self._dead.add(shard_index)
 
     # ------------------------------------------------------------------ #
     # Introspection (tests, diagnostics)

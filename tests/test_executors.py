@@ -344,3 +344,150 @@ class TestEngineExecutorKnob:
         assert isinstance(make_executor("shared"), SharedMemoryExecutor)
         with pytest.raises(ValueError):
             make_executor("bogus")
+
+
+class TestSupervisedLifecycle:
+    """Supervised recovery on the raw executor lifecycle edges."""
+
+    POLICY_KWARGS = dict(max_restarts=2, backoff_seconds=0.01)
+
+    @staticmethod
+    def _worker_processes(executor):
+        if isinstance(executor, SharedMemoryExecutor):
+            return executor.worker_processes
+        return executor._workers
+
+    def _kill_one(self, executor) -> None:
+        for process in self._worker_processes(executor):
+            if process is not None and process.is_alive():
+                process.kill()
+                process.join(timeout=5.0)
+                return
+        raise AssertionError("no worker process to kill")
+
+    @pytest.mark.parametrize("executor_name", ["processes", "shared"])
+    def test_crash_during_flush_recovers_bit_exact(
+        self, executor_name, zipf_stream, zipf_sample, small_config
+    ):
+        """A worker killed with batches outstanding: flush recovers, parity holds."""
+        from repro.distributed import RecoveryPolicy
+
+        reference = _build(zipf_sample, small_config, zipf_stream)
+        reference.ingest(zipf_stream, batch_size=512)
+
+        executor = make_executor(executor_name)
+        half = len(zipf_stream) // 2
+        engine = ShardedGSketch.build(
+            zipf_sample,
+            small_config,
+            num_shards=2,
+            executor=executor,
+            stream_size_hint=len(zipf_stream),
+            recovery=RecoveryPolicy(**self.POLICY_KWARGS),
+        )
+        try:
+            engine.ingest(zipf_stream.prefix(half), batch_size=512)
+            self._kill_one(executor)  # dies with un-synced state in the worker
+            engine.ingest(zipf_stream.suffix(half), batch_size=512)
+            engine.flush()
+            _assert_states_bit_exact(reference.state_dict(), engine.state_dict())
+            assert engine.supervisor.restarts >= 1
+            assert engine.dead_shards == ()
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize("executor_name", ["processes", "shared"])
+    def test_repeated_crashes_keep_recovering(
+        self, executor_name, zipf_stream, zipf_sample, small_config
+    ):
+        """Each incident gets a fresh restart budget; serial crashes all heal."""
+        from repro.distributed import RecoveryPolicy
+
+        reference = _build(zipf_sample, small_config, zipf_stream)
+        reference.ingest(zipf_stream, batch_size=1024)
+
+        executor = make_executor(executor_name)
+        third = len(zipf_stream) // 3
+        engine = ShardedGSketch.build(
+            zipf_sample,
+            small_config,
+            num_shards=2,
+            executor=executor,
+            stream_size_hint=len(zipf_stream),
+            recovery=RecoveryPolicy(**self.POLICY_KWARGS),
+        )
+        try:
+            engine.ingest(zipf_stream.prefix(third), batch_size=1024)
+            self._kill_one(executor)
+            engine.ingest(zipf_stream.prefix(2 * third).suffix(third), batch_size=1024)
+            engine.flush()
+            self._kill_one(executor)
+            engine.ingest(zipf_stream.suffix(2 * third), batch_size=1024)
+            engine.flush()
+            _assert_states_bit_exact(reference.state_dict(), engine.state_dict())
+            assert engine.supervisor.restarts >= 2
+        finally:
+            engine.close()
+
+    def test_supervised_empty_shards_reach_parity(
+        self, zipf_stream, zipf_sample, small_config
+    ):
+        """More shards than partitions: empty shards have no worker to
+        restart, and supervision must not trip over them."""
+        from repro.distributed import RecoveryPolicy
+
+        reference = _build(zipf_sample, small_config, zipf_stream)
+        reference.ingest(zipf_stream, batch_size=1024)
+        executor = SharedMemoryExecutor()
+        engine = ShardedGSketch.build(
+            zipf_sample,
+            small_config,
+            num_shards=50,
+            executor=executor,
+            stream_size_hint=len(zipf_stream),
+            recovery=RecoveryPolicy(**self.POLICY_KWARGS),
+        )
+        try:
+            engine.ingest(zipf_stream.prefix(2_000), batch_size=1024)
+            self._kill_one(executor)
+            engine.ingest(zipf_stream.suffix(2_000), batch_size=1024)
+            engine.flush()
+            edges = sorted(zipf_stream.distinct_edges())[:100]
+            assert engine.query_edges(edges) == reference.query_edges(edges)
+            # An empty shard has no worker: restarting it is a named error,
+            # not a hang or a silent no-op.
+            empty = next(
+                index
+                for index, process in enumerate(executor.worker_processes)
+                if process is None
+            )
+            with pytest.raises(ShardExecutionError, match="no worker"):
+                executor.restart_shard(engine.shards, empty)
+        finally:
+            engine.close()
+
+    def test_teardown_escalates_to_kill(self):
+        """A worker ignoring SIGTERM is force-killed within the deadline."""
+        import multiprocessing
+        import signal
+        import time as time_module
+
+        from repro.distributed.executor import reap_workers
+
+        def stubborn() -> None:
+            signal.signal(signal.SIGTERM, signal.SIG_IGN)
+            while True:
+                time_module.sleep(0.1)
+
+        process = multiprocessing.get_context("fork").Process(target=stubborn)
+        process.start()
+        try:
+            start = time_module.monotonic()
+            reap_workers([], [process], deadline=0.5)
+            elapsed = time_module.monotonic() - start
+            assert not process.is_alive()
+            assert elapsed < 5.0  # escalated instead of waiting out SIGTERM
+            assert process.exitcode == -signal.SIGKILL
+        finally:
+            if process.is_alive():  # pragma: no cover - cleanup on failure
+                process.kill()
