@@ -11,17 +11,17 @@ summary), and exits non-zero on any regression.
 
 Floors are *ratios between modes of the same run* (batched vs per-edge,
 shared-memory sharded vs batched, columnar vs scalar build, compiled query
-plan vs the pre-plan routed path), so they are portable across machine
-speeds; the ``quick`` profile carries loose sanity floors suitable for PR
-smoke sizes, the ``full`` profile carries the real performance bars enforced
-nightly and locally::
+plan vs the pre-plan routed path, N-client serving QPS vs 1-client), so they
+are portable across machine speeds; the ``quick`` profile carries loose
+sanity floors suitable for PR smoke sizes, the ``full`` profile carries the
+real performance bars enforced nightly and locally::
 
     python experiments/check_bench.py --profile quick \
         --throughput BENCH_throughput_ci.json --build BENCH_build_ci.json \
-        --query BENCH_query_ci.json
+        --query BENCH_query_ci.json --serve BENCH_serve_ci.json
     python experiments/check_bench.py --profile full \
         --throughput BENCH_throughput.json --build BENCH_build.json \
-        --query BENCH_query.json
+        --query BENCH_query.json --serve BENCH_serve.json
 
 A floor passes when ``measured >= min_ratio * (1 - tolerance)``; the
 tolerance (from the baselines file, overridable with ``--tolerance``)
@@ -61,6 +61,55 @@ def _load_json(path: str, label: str) -> dict:
         return json.load(handle)
 
 
+# ---------------------------------------------------------------------- #
+# Shared row constructors — every check_* section formats through these,
+# so gate semantics (tolerance application, missing-row failure, advisory
+# rows) stay identical across benchmark families.
+# ---------------------------------------------------------------------- #
+def bool_row(name: str, value: bool) -> CheckResult:
+    """A boolean gate: no tolerance, must hold exactly."""
+    return CheckResult(name=name, measured=str(value), required="True", ok=value)
+
+
+def ratio_row(
+    name: str, ratio: float, min_ratio: float, tolerance: float
+) -> CheckResult:
+    """A ratio floor: passes when ``ratio >= min_ratio * (1 - tolerance)``."""
+    effective = min_ratio * (1.0 - tolerance)
+    return CheckResult(
+        name=name,
+        measured=f"{ratio:.2f}x",
+        required=f">= {effective:.2f}x ({min_ratio:.2f} - {tolerance:.0%})",
+        ok=ratio >= effective,
+    )
+
+
+def ceiling_row(
+    name: str, value: float, max_value: float, tolerance: float, unit: str = ""
+) -> CheckResult:
+    """An upper bound: passes when ``value <= max_value * (1 + tolerance)``."""
+    effective = max_value * (1.0 + tolerance)
+    return CheckResult(
+        name=name,
+        measured=f"{value:.2f}{unit}",
+        required=f"<= {effective:.2f}{unit} ({max_value:.2f} + {tolerance:.0%})",
+        ok=value <= effective,
+    )
+
+
+def missing_row(name: str, detail: str, min_ratio: float, tolerance: float) -> CheckResult:
+    """A floor whose input is absent from the report: always a failure."""
+    effective = min_ratio * (1.0 - tolerance)
+    return CheckResult(
+        name=name, measured=detail, required=f">= {effective:.2f}x", ok=False
+    )
+
+
+def advisory_row(name: str, measured: str, required: str) -> CheckResult:
+    """An always-passing row that surfaces a number gated elsewhere."""
+    return CheckResult(name=name, measured=measured, required=required, ok=True)
+
+
 def _throughput_rates(report: dict) -> Dict[tuple, float]:
     return {
         (row["dataset"], row["mode"]): float(row["edges_per_second"])
@@ -74,13 +123,10 @@ def check_throughput(
     """Evaluate parity and mode-ratio floors on a throughput report."""
     checks: List[CheckResult] = []
     if rules.get("require_parity", True):
-        parity = bool(report.get("parity_ok", False))
         checks.append(
-            CheckResult(
-                name="throughput: estimate parity across modes",
-                measured=str(parity),
-                required="True",
-                ok=parity,
+            bool_row(
+                "throughput: estimate parity across modes",
+                bool(report.get("parity_ok", False)),
             )
         )
     rates = _throughput_rates(report)
@@ -89,30 +135,18 @@ def check_throughput(
         numerator = floor["numerator"]
         denominator = floor["denominator"]
         min_ratio = float(floor["min_ratio"])
-        effective = min_ratio * (1.0 - tolerance)
         name = f"throughput[{dataset}]: {numerator} / {denominator}"
         num = rates.get((dataset, numerator))
         den = rates.get((dataset, denominator))
         if num is None or den is None or den <= 0:
             missing = numerator if num is None else denominator
             checks.append(
-                CheckResult(
-                    name=name,
-                    measured=f"mode {missing!r} missing from report",
-                    required=f">= {effective:.2f}",
-                    ok=False,
+                missing_row(
+                    name, f"mode {missing!r} missing from report", min_ratio, tolerance
                 )
             )
             continue
-        ratio = num / den
-        checks.append(
-            CheckResult(
-                name=name,
-                measured=f"{ratio:.2f}x",
-                required=f">= {effective:.2f}x ({min_ratio:.2f} - {tolerance:.0%})",
-                ok=ratio >= effective,
-            )
-        )
+        checks.append(ratio_row(name, num / den, min_ratio, tolerance))
     return checks
 
 
@@ -120,50 +154,30 @@ def check_build(report: dict, rules: dict, tolerance: float) -> List[CheckResult
     """Evaluate equivalence and columnar-speedup floors on a build report."""
     checks: List[CheckResult] = []
     if rules.get("require_equivalence", True):
-        identical = bool(report.get("trees_identical", False))
         checks.append(
-            CheckResult(
-                name="build: columnar and scalar trees identical",
-                measured=str(identical),
-                required="True",
-                ok=identical,
+            bool_row(
+                "build: columnar and scalar trees identical",
+                bool(report.get("trees_identical", False)),
             )
         )
     if rules.get("require_facade_roundtrip", False):
-        roundtrip = bool(report.get("facade_roundtrip_ok", False))
         checks.append(
-            CheckResult(
-                name="build: facade build/ingest round-trip",
-                measured=str(roundtrip),
-                required="True",
-                ok=roundtrip,
+            bool_row(
+                "build: facade build/ingest round-trip",
+                bool(report.get("facade_roundtrip_ok", False)),
             )
         )
     min_speedup = rules.get("min_speedup")
     if min_speedup is not None:
-        effective = float(min_speedup) * (1.0 - tolerance)
+        name = "build: columnar speedup vs scalar (min over rows)"
         speedups = [float(row["speedup"]) for row in report.get("results", [])]
         if not speedups:
             checks.append(
-                CheckResult(
-                    name="build: columnar speedup vs scalar (min over rows)",
-                    measured="no rows in report",
-                    required=f">= {effective:.2f}x",
-                    ok=False,
-                )
+                missing_row(name, "no rows in report", float(min_speedup), tolerance)
             )
         else:
-            worst = min(speedups)
             checks.append(
-                CheckResult(
-                    name="build: columnar speedup vs scalar (min over rows)",
-                    measured=f"{worst:.2f}x",
-                    required=(
-                        f">= {effective:.2f}x ({float(min_speedup):.2f} - "
-                        f"{tolerance:.0%})"
-                    ),
-                    ok=worst >= effective,
-                )
+                ratio_row(name, min(speedups), float(min_speedup), tolerance)
             )
     return checks
 
@@ -186,39 +200,94 @@ def check_query(report: dict, rules: dict, tolerance: float) -> List[CheckResult
             bool(row.get("parity_ok", False)) for row in report.get("results", [])
         )
         checks.append(
-            CheckResult(
-                name="query: plan vs direct bit-exact parity (all backends)",
-                measured=str(parity),
-                required="True",
-                ok=parity,
-            )
+            bool_row("query: plan vs direct bit-exact parity (all backends)", parity)
         )
     for floor in rules.get("floors", []):
         backend = floor["backend"]
         batch_size = int(floor["batch_size"])
         min_ratio = float(floor["min_ratio"])
-        effective = min_ratio * (1.0 - tolerance)
         name = f"query[{backend} @ batch {batch_size}]: plan / direct"
         row = rows.get((backend, batch_size))
         if row is None or float(row.get("direct_qps", 0.0)) <= 0:
             checks.append(
-                CheckResult(
-                    name=name,
-                    measured="row missing from report",
-                    required=f">= {effective:.2f}x",
-                    ok=False,
+                missing_row(name, "row missing from report", min_ratio, tolerance)
+            )
+            continue
+        checks.append(
+            ratio_row(
+                name,
+                float(row["plan_qps"]) / float(row["direct_qps"]),
+                min_ratio,
+                tolerance,
+            )
+        )
+    return checks
+
+
+def check_serve(report: dict, rules: dict, tolerance: float) -> List[CheckResult]:
+    """Evaluate the serving-tier report: parity, concurrency scaling, overload.
+
+    Each floor names a ``(clients, baseline_clients)`` pair and requires
+    ``qps[clients] / qps[baseline_clients] >= min_qps_ratio * (1 - tolerance)``
+    — the cross-client coalescing dividend.  An optional ``max_p99_ms`` on
+    the same row bounds the p99 latency at that concurrency, so the QPS
+    can't be bought with unbounded queueing.  Parity (every wire answer
+    bit-identical to the direct oracle) and the overload drill (typed
+    rejects, bounded queue depth, no hung clients) carry no tolerance.
+    """
+    checks: List[CheckResult] = []
+    rows = {int(row["clients"]): row for row in report.get("results", [])}
+    if rules.get("require_parity", True):
+        parity = bool(report.get("parity_ok", False)) and all(
+            bool(row.get("parity_ok", False)) for row in report.get("results", [])
+        )
+        checks.append(
+            bool_row("serve: wire answers bit-exact vs direct oracle", parity)
+        )
+    if rules.get("require_overload", True):
+        drill = report.get("overload", {})
+        checks.append(
+            CheckResult(
+                name="serve: 2x-overload drill (typed rejects, bounded, no hangs)",
+                measured=(
+                    f"ok={drill.get('ok')} rejected={drill.get('rejected')} "
+                    f"depth {drill.get('max_depth')}/{drill.get('max_pending')}"
+                ),
+                required="ok=True",
+                ok=bool(drill.get("ok", False)),
+            )
+        )
+    for floor in rules.get("floors", []):
+        clients = int(floor["clients"])
+        baseline = int(floor.get("baseline_clients", 1))
+        min_ratio = float(floor["min_qps_ratio"])
+        name = f"serve[{clients} clients]: qps / {baseline}-client qps"
+        row = rows.get(clients)
+        base = rows.get(baseline)
+        if row is None or base is None or float(base.get("qps", 0.0)) <= 0:
+            missing = clients if row is None else baseline
+            checks.append(
+                missing_row(
+                    name, f"clients={missing} row missing", min_ratio, tolerance
                 )
             )
             continue
-        ratio = float(row["plan_qps"]) / float(row["direct_qps"])
         checks.append(
-            CheckResult(
-                name=name,
-                measured=f"{ratio:.2f}x",
-                required=f">= {effective:.2f}x ({min_ratio:.2f} - {tolerance:.0%})",
-                ok=ratio >= effective,
+            ratio_row(
+                name, float(row["qps"]) / float(base["qps"]), min_ratio, tolerance
             )
         )
+        max_p99 = floor.get("max_p99_ms")
+        if max_p99 is not None:
+            checks.append(
+                ceiling_row(
+                    f"serve[{clients} clients]: p99 latency",
+                    float(row.get("p99_ms", float("inf"))),
+                    float(max_p99),
+                    tolerance,
+                    unit="ms",
+                )
+            )
     return checks
 
 
@@ -233,17 +302,15 @@ def check_overhead(report: dict) -> List[CheckResult]:
     gate = float(report.get("max_disabled_overhead", 0.02))
     enabled = float(report.get("enabled_overhead_ratio", 0.0))
     return [
-        CheckResult(
-            name="overhead (advisory): disabled telemetry hooks / wall",
-            measured=f"{ratio:.4%}",
-            required=f"< {gate:.0%} (gated by overhead_bench itself)",
-            ok=True,
+        advisory_row(
+            "overhead (advisory): disabled telemetry hooks / wall",
+            f"{ratio:.4%}",
+            f"< {gate:.0%} (gated by overhead_bench itself)",
         ),
-        CheckResult(
-            name="overhead (advisory): enabled telemetry wall-time delta",
-            measured=f"{enabled:+.2%}",
-            required="advisory only",
-            ok=True,
+        advisory_row(
+            "overhead (advisory): enabled telemetry wall-time delta",
+            f"{enabled:+.2%}",
+            "advisory only",
         ),
     ]
 
@@ -258,31 +325,21 @@ def check_recovery(report: dict) -> List[CheckResult]:
     checks: List[CheckResult] = []
     for row in report.get("parity", []):
         checks.append(
-            CheckResult(
-                name=(
-                    f"recovery (advisory) [{row['executor']}]: crash/recover "
-                    "parity"
-                ),
-                measured=(
-                    f"parity={row.get('parity_ok')} "
-                    f"restarts={row.get('restarts')} "
-                    f"cost {float(row.get('recovery_cost_ratio', 0.0)):.2f}x"
-                ),
-                required="bit-exact (gated by recovery_bench itself)",
-                ok=True,
+            advisory_row(
+                f"recovery (advisory) [{row['executor']}]: crash/recover parity",
+                f"parity={row.get('parity_ok')} restarts={row.get('restarts')} "
+                f"cost {float(row.get('recovery_cost_ratio', 0.0)):.2f}x",
+                "bit-exact (gated by recovery_bench itself)",
             )
         )
     degraded = report.get("degraded", {})
     checks.append(
-        CheckResult(
-            name="recovery (advisory): degraded-serving bound soundness",
-            measured=(
-                f"widened={degraded.get('queries_widened')} "
-                f"violations={degraded.get('bound_violations')} "
-                f"lost={degraded.get('lost_elements')}"
-            ),
-            required="0 violations (gated by recovery_bench itself)",
-            ok=True,
+        advisory_row(
+            "recovery (advisory): degraded-serving bound soundness",
+            f"widened={degraded.get('queries_widened')} "
+            f"violations={degraded.get('bound_violations')} "
+            f"lost={degraded.get('lost_elements')}",
+            "0 violations (gated by recovery_bench itself)",
         )
     )
     return checks
@@ -341,6 +398,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="query-throughput report to check (default BENCH_query_ci.json)",
     )
     parser.add_argument(
+        "--serve",
+        default="BENCH_serve_ci.json",
+        help="serving-tier report to check (default BENCH_serve_ci.json)",
+    )
+    parser.add_argument(
         "--overhead",
         default="BENCH_overhead_ci.json",
         help="telemetry-overhead report for advisory rows; skipped silently "
@@ -387,6 +449,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "query" in profile:
         report = _load_json(args.query, "query")
         checks.extend(check_query(report, profile["query"], tolerance))
+    if "serve" in profile:
+        report = _load_json(args.serve, "serve")
+        checks.extend(check_serve(report, profile["serve"], tolerance))
     if args.overhead and os.path.exists(args.overhead):
         checks.extend(check_overhead(_load_json(args.overhead, "overhead")))
     if args.recovery and os.path.exists(args.recovery):

@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Serving-tier benchmark entry point.
+
+Thin wrapper so the benchmark runs from a checkout without installation::
+
+    python experiments/serve_bench.py [--quick] [--clients N ...] [--output PATH]
+
+The logic lives in :mod:`repro.experiments.serve_bench`.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.serve_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,6 +10,8 @@ The library provides:
 * the graph-stream model, sampling and statistics in :mod:`repro.graph`;
 * query objects and accuracy metrics in :mod:`repro.queries`;
 * synthetic dataset generators in :mod:`repro.datasets`;
+* the concurrent query-serving tier (TCP server, cross-client batch
+  coalescing, admission control) in :mod:`repro.serving`;
 * the experiment harness regenerating every paper figure in
   :mod:`repro.experiments`.
 
@@ -58,6 +60,13 @@ from repro.graph.stream import GraphStream
 from repro.queries.edge_query import EdgeQuery
 from repro.queries.plan import CompiledQueryPlan
 from repro.queries.subgraph_query import SubgraphQuery
+from repro.serving import (
+    ServingClient,
+    ServingConfig,
+    SketchServer,
+    SyncServingClient,
+    SyncSession,
+)
 from repro.sketches.countmin import CountMinSketch
 
 __version__ = "1.0.0"
@@ -83,8 +92,13 @@ __all__ = [
     "ShardPlan",
     "ShardedGSketch",
     "SharedMemoryExecutor",
+    "ServingClient",
+    "ServingConfig",
     "SketchEngine",
+    "SketchServer",
     "SnapshotError",
+    "SyncServingClient",
+    "SyncSession",
     "StreamEdge",
     "SubgraphQuery",
     "WindowQuery",

@@ -9,6 +9,8 @@ library exposes, so the CLI doubles as a smoke test of the public surface::
     python -m repro query  --snapshot sketch.snap --edge 3 17
     python -m repro bench  --dataset rmat --edges 20000 --cells 60000
     python -m repro query-bench --dataset rmat --edges 20000 --batch-sizes 1 8 64
+    python -m repro serve  --snapshot sketch.snap --port 8765
+    python -m repro query  --connect 127.0.0.1:8765 --edge 3 17
 
 Datasets are either registry names (``dblp-tiny``, ``gtgraph-small``, ... —
 see :func:`repro.datasets.registry.available_datasets`) or the synthetic
@@ -156,7 +158,10 @@ def cmd_ingest(args: argparse.Namespace) -> int:
 
 
 def cmd_query(args: argparse.Namespace) -> int:
-    engine = _open_engine(args.snapshot)
+    if (args.snapshot is None) == (args.connect is None):
+        raise EngineError(
+            "pass exactly one of --snapshot PATH (local) or --connect HOST:PORT (wire)"
+        )
     keys: List[tuple] = [
         (_coerce_label(source), _coerce_label(target)) for source, target in args.edge or []
     ]
@@ -168,6 +173,10 @@ def cmd_query(args: argparse.Namespace) -> int:
     if not keys:
         raise EngineError("nothing to query: pass --edge S T (repeatable) and/or --sample K")
 
+    if args.connect is not None:
+        return _query_over_wire(args, keys)
+
+    engine = _open_engine(args.snapshot)
     if args.window is not None:
         start, end = args.window
         estimates = [
@@ -186,6 +195,89 @@ def cmd_query(args: argparse.Namespace) -> int:
             ],
         }
     )
+    return 0
+
+
+def _query_over_wire(args: argparse.Namespace, keys: List[tuple]) -> int:
+    """``query --connect``: answer the edges through a running ``serve``."""
+    from repro.serving import ServingError, SyncServingClient
+    from repro.serving.wire import parse_address
+
+    if args.window is not None:
+        raise EngineError("--window queries are not served over the wire")
+    host, port = parse_address(args.connect)
+    try:
+        with SyncServingClient(host, port) as client:
+            if args.confidence:
+                estimates = client.query_edges_confidence(keys)
+                generation = estimates[0].get("generation") if estimates else None
+                rows = [
+                    {"source": str(key[0]), "target": str(key[1]), **estimate}
+                    for key, estimate in zip(keys, estimates)
+                ]
+            else:
+                result = client.query_edges(keys)
+                generation = result.generation
+                rows = [
+                    {"source": str(key[0]), "target": str(key[1]), "value": value}
+                    for key, value in zip(keys, result.values)
+                ]
+            document = {
+                "backend": client.hello.get("backend"),
+                "connect": f"{host}:{port}",
+                "generation": generation,
+                "estimates": rows,
+            }
+    except (ServingError, ConnectionError) as error:
+        raise EngineError(f"serving request failed: {error}") from error
+    _emit(document)
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve a snapshot over TCP until interrupted (SIGINT drains gracefully).
+
+    Prints one JSON ready-line (with the bound port — useful with
+    ``--port 0``) as soon as the socket is listening, then a final JSON
+    stats document after the drain.
+    """
+    from repro.serving import ServingConfig
+    from repro.serving.server import run_server
+
+    engine = _open_engine(args.snapshot)
+    config = ServingConfig(
+        max_batch=args.max_batch,
+        max_delay_us=args.max_delay_us,
+        max_pending=args.max_pending,
+        allow_ingest=args.allow_ingest,
+    )
+    final_stats: dict = {}
+
+    def on_started(server) -> None:
+        host, port = server.address
+        json.dump(
+            {
+                "serving": True,
+                "host": host,
+                "port": port,
+                "backend": engine.backend,
+                "snapshot": args.snapshot,
+                "max_batch": config.max_batch,
+                "allow_ingest": config.allow_ingest,
+            },
+            sys.stdout,
+        )
+        sys.stdout.write("\n")
+        sys.stdout.flush()
+        final_stats["server"] = server
+
+    try:
+        run_server(engine, args.host, args.port, config, on_started)
+    finally:
+        engine.close()
+    server = final_stats.get("server")
+    if server is not None:
+        _emit({"serving": False, **server.stats()})
     return 0
 
 
@@ -413,9 +505,44 @@ def build_parser() -> argparse.ArgumentParser:
         help="restrict to a time window (windowed backend only)",
     )
     query.add_argument(
-        "--snapshot", required=True, help="snapshot file or checkpoint directory"
+        "--snapshot", default=None, help="snapshot file or checkpoint directory"
+    )
+    query.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help="query a running `serve` over the wire instead of a snapshot",
+    )
+    query.add_argument(
+        "--confidence",
+        action="store_true",
+        help="with --connect: typed estimates with intervals and provenance",
     )
     query.set_defaults(func=cmd_query)
+
+    serve = commands.add_parser(
+        "serve", help="serve a snapshot over TCP with cross-client query coalescing"
+    )
+    serve.add_argument(
+        "--snapshot", required=True, help="snapshot file or checkpoint directory"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=0, help="TCP port (0 picks a free one)"
+    )
+    serve.add_argument("--max-batch", type=int, default=512)
+    serve.add_argument(
+        "--max-delay-us", type=int, default=200, help="micro-batching dally"
+    )
+    serve.add_argument(
+        "--max-pending", type=int, default=4096, help="admission bound (waiting keys)"
+    )
+    serve.add_argument(
+        "--allow-ingest",
+        action="store_true",
+        help="accept live ingest frames while serving",
+    )
+    serve.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser("bench", help="facade ingest/query throughput")
     _add_dataset_arguments(bench)

@@ -24,7 +24,7 @@ partitioned, sharded, windowed) stays a construction-time choice::
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Union
 
 from repro.api.protocol import (
     BACKEND_GLOBAL,
@@ -60,6 +60,9 @@ from repro.observability import AccuracyTracker
 from repro.observability import metrics as _obs
 from repro.observability.metrics import MetricsRegistry, get_registry
 from repro.queries.workload import QueryWorkload
+
+if TYPE_CHECKING:  # pragma: no cover - typing only (repro.serving imports us)
+    from repro.serving.server import ServerHandle, ServingConfig
 
 #: Default reservoir size when the partitioning sample is derived from a
 #: dataset rather than supplied explicitly.
@@ -186,9 +189,12 @@ class SketchEngine:
         single routing pass (``confidence_batch_with_partitions``); backends
         without a partitioning fall back to plain ``confidence_batch``.
         """
+        generation = getattr(self._estimator, "ingest_generation", None)
+        if generation is not None:
+            generation = int(generation)
         combined = getattr(self._estimator, "confidence_batch_with_partitions", None)
         if combined is None:
-            shared = Provenance(backend=self._backend)
+            shared = Provenance(backend=self._backend, generation=generation)
             return [
                 Estimate(value=interval.estimate, interval=interval, provenance=shared)
                 for interval in self._estimator.confidence_batch(keys)
@@ -209,6 +215,7 @@ class SketchEngine:
                         shard=shard,
                         outlier=partition == OUTLIER_PARTITION,
                         degraded=shard is not None and shard in dead,
+                        generation=generation,
                     ),
                 )
             )
@@ -245,6 +252,33 @@ class SketchEngine:
         if compile_plan is not None:
             compile_plan()
         return self
+
+    # ------------------------------------------------------------------ #
+    # Serving
+    # ------------------------------------------------------------------ #
+    def serve(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        config: Optional["ServingConfig"] = None,
+    ) -> "ServerHandle":
+        """Serve this engine over TCP on a background event-loop thread.
+
+        Point queries from concurrent clients coalesce into shared
+        compiled-plan gathers (see :mod:`repro.serving`).  Returns once the
+        socket is bound; the handle exposes ``address``, ``stats()`` and
+        ``stop()`` and works as a context manager::
+
+            with engine.serve() as handle:
+                host, port = handle.address
+                ...
+
+        While the handle is live the engine is driven by the server thread —
+        don't query or ingest it directly from other threads.
+        """
+        from repro.serving.server import serve_in_background
+
+        return serve_in_background(self, host, port, config)
 
     # ------------------------------------------------------------------ #
     # Snapshot / restore

@@ -38,6 +38,10 @@ class Provenance:
             from degraded serving — the interval's upper end is widened by
             the lost frequency mass (see
             :class:`~repro.distributed.recovery.RecoveryPolicy`).
+        generation: the engine's ingest generation at answer time (``None``
+            when the backend keeps no generation clock).  The serving tier
+            returns it on every response so sessions can assert monotonic
+            reads across live ingest.
     """
 
     backend: str
@@ -45,6 +49,7 @@ class Provenance:
     shard: Optional[int] = None
     outlier: Optional[bool] = None
     degraded: bool = False
+    generation: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -79,6 +84,8 @@ class Estimate:
             result["outlier"] = self.provenance.outlier
         if self.provenance.degraded:
             result["degraded"] = True
+        if self.provenance.generation is not None:
+            result["generation"] = self.provenance.generation
         if self.interval is not None:
             result["interval"] = {
                 "lower": self.interval.lower,

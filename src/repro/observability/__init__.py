@@ -30,6 +30,7 @@ from repro.observability.exposition import (
 )
 from repro.observability.health import sketch_health
 from repro.observability.metrics import (
+    BATCH_BUCKET_BOUNDS,
     DEFAULT_BUCKET_BOUNDS,
     REGISTRY,
     Counter,
@@ -52,6 +53,7 @@ from repro.observability.tracing import (
 __all__ = [
     "AccuracyTracker",
     "Counter",
+    "BATCH_BUCKET_BOUNDS",
     "DEFAULT_BUCKET_BOUNDS",
     "DEFAULT_TRACKED_EDGES",
     "Gauge",

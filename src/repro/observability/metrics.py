@@ -33,6 +33,7 @@ __all__ = [
     "MetricsRegistry",
     "REGISTRY",
     "DEFAULT_BUCKET_BOUNDS",
+    "BATCH_BUCKET_BOUNDS",
     "enabled",
     "set_enabled",
     "get_registry",
@@ -42,6 +43,11 @@ __all__ = [
 #: k = 0..23 (≈ 1µs … ≈ 8.4s), plus the implicit +Inf bucket.  Powers of two
 #: keep the boundaries exact in binary and independent of observed data.
 DEFAULT_BUCKET_BOUNDS: Tuple[float, ...] = tuple(1e-6 * 2.0**k for k in range(24))
+
+#: Log-scale *count* bucket upper bounds (1 · 2^k for k = 0..13, ≈ 1 … 8192)
+#: for histograms over sizes rather than latencies — e.g. the serving tier's
+#: coalesced-batch-size distribution (``repro_serve_batch_size``).
+BATCH_BUCKET_BOUNDS: Tuple[float, ...] = tuple(float(2**k) for k in range(14))
 
 _ENABLED = False
 

@@ -15,6 +15,7 @@ from repro.queries.plan import (
     CompiledQueryPlan,
     HotEdgeCache,
     PlanServingMixin,
+    demux_by_counts,
 )
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.queries.workload import (
@@ -37,6 +38,7 @@ __all__ = [
     "SubgraphQuery",
     "average_relative_error",
     "bfs_subgraph_queries",
+    "demux_by_counts",
     "effective_query_count",
     "evaluate_edge_queries",
     "evaluate_subgraph_queries",

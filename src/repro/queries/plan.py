@@ -95,13 +95,36 @@ _PLAN_REFRESHES = _obs.REGISTRY.counter(
 #: equality is pinned by ``tests/test_query_plan.py``.
 OUTLIER_PARTITION = -1
 
-#: Batches up to this size consult the hot-edge cache before touching the
-#: arena.  Beyond it the vectorized gather amortizes better than per-key
-#: dictionary probes.
+#: Batches up to this size take the scalar all-or-nothing memo path (cheaper
+#: than columnarizing a tiny batch).  Larger batches — the shape coalesced
+#: server traffic arrives in — consult the memo per key instead
+#: (:meth:`HotEdgeCache.lookup_partial`): cached keys are served from the
+#: memo and only the misses are gathered from the arena, so hot-edge traffic
+#: from many clients never bypasses the cache just because it was coalesced.
 HOT_CACHE_MAX_BATCH = 8
 
 #: Default number of memoized point estimates per estimator.
 DEFAULT_CACHE_CAPACITY = 65_536
+
+
+def demux_by_counts(values: Sequence[float], counts: Sequence[int]) -> List[List[float]]:
+    """Split one flat gather's results back into per-request slices.
+
+    The serving tier coalesces point queries from many clients into a single
+    compiled-plan batch; this is the inverse — ``counts[i]`` consecutive
+    values belong to request ``i``.  The slices are plain lists (they go
+    straight onto the wire as JSON).
+    """
+    slices: List[List[float]] = []
+    cursor = 0
+    for count in counts:
+        nxt = cursor + count
+        chunk = values[cursor:nxt]
+        slices.append(chunk.tolist() if isinstance(chunk, np.ndarray) else list(chunk))
+        cursor = nxt
+    if cursor != len(values):
+        raise ValueError(f"counts sum to {cursor}, but {len(values)} values were given")
+    return slices
 
 
 class HotEdgeCache:
@@ -174,6 +197,39 @@ class HotEdgeCache:
             values.append(value)
         self.hits += 1
         return values
+
+    def lookup_partial(
+        self, generation: int, keys: Sequence[int]
+    ) -> Tuple[Optional[np.ndarray], Optional[np.ndarray]]:
+        """Per-key lookup for large (coalesced) batches: hits served, misses marked.
+
+        Returns ``(values, miss_mask)`` where ``values[i]`` holds the memoized
+        estimate for every hit and ``miss_mask[i]`` is ``True`` where the key
+        must still be gathered from the arena.  Returns ``(None, None)`` when
+        the memo is empty for ``generation`` — the caller's untouched
+        vectorized path costs nothing extra then.  Unlike
+        :meth:`lookup_many`'s all-or-nothing batch contract, hits and misses
+        are tallied *per key* here: a coalesced server batch routinely mixes
+        hot and cold edges, and serving the hot ones from the memo while
+        gathering only the misses is the whole point.
+        """
+        entries = self._sync_generation(generation)
+        if not entries:
+            return None, None
+        values = np.zeros(len(keys), dtype=np.float64)
+        miss = np.zeros(len(keys), dtype=bool)
+        hits = 0
+        get = entries.get
+        for index, key in enumerate(keys):
+            value = get(key)
+            if value is None:
+                miss[index] = True
+            else:
+                values[index] = value
+                hits += 1
+        self.hits += hits
+        self.misses += len(keys) - hits
+        return values, miss
 
     def store_many(
         self, generation: int, keys: Sequence[int], values: Sequence[float]
@@ -539,7 +595,37 @@ class PlanServingMixin:
             estimates = plan.estimate_keys(np.asarray(keys, dtype=np.uint64), slots)
             self._hot_cache.store_many(self._plan_generation, keys, estimates.tolist())
             return estimates
-        return plan.query_edges(edges)
+        # Large (coalesced) batches: serve per-key memo hits, gather only the
+        # misses.  Cached values were produced by this same plan at this same
+        # generation, and the miss-subset gather runs the identical per-element
+        # kernel sequence, so the merged answer stays bit-exact.
+        clock = _stage_clock("query", _QUERY_STAGE_HISTOGRAMS)
+        batch = EdgeBatch.from_edge_keys(edges)
+        keys_array = batch.hashed_keys()
+        clock.lap("hash")
+        key_list = keys_array.tolist()
+        cached, miss = self._hot_cache.lookup_partial(self._plan_generation, key_list)
+        if cached is None:
+            slots, _ = plan.route_sources(batch.sources)
+            clock.lap("route")
+            estimates = plan.estimate_keys(keys_array, slots)
+            clock.lap("gather")
+            self._hot_cache.store_many(self._plan_generation, key_list, estimates.tolist())
+            return estimates
+        if not miss.any():
+            return cached
+        miss_indices = np.nonzero(miss)[0]
+        slots, _ = plan.route_sources(batch.sources[miss_indices])
+        clock.lap("route")
+        gathered = plan.estimate_keys(keys_array[miss_indices], slots)
+        clock.lap("gather")
+        cached[miss_indices] = gathered
+        self._hot_cache.store_many(
+            self._plan_generation,
+            [key_list[index] for index in miss_indices],
+            gathered.tolist(),
+        )
+        return cached
 
     def _planned_confidence(
         self, edges: Sequence[EdgeKey]

@@ -1,0 +1,363 @@
+"""Clients for the serving tier: async pipelined, plus a sync wrapper.
+
+:class:`ServingClient` speaks the :mod:`~repro.serving.wire` protocol over
+one TCP connection.  Requests are pipelined: each gets a connection-unique
+id, a reader task demuxes response frames back to per-request futures, so
+many queries can be in flight at once over a single socket — that is what
+lets the server coalesce them into shared gathers.
+
+Server-side shedding surfaces as typed exceptions:
+
+* ``retry_later``      → :class:`RetryLater` (back off and resubmit)
+* ``deadline_exceeded``→ :class:`DeadlineExceeded`
+* ``shutting_down``    → :class:`ServerClosed`
+* ``error``            → :class:`ServingError`
+
+:class:`SyncServingClient` runs an async client on a private event-loop
+thread and exposes blocking calls — the ergonomic path for scripts and the
+CLI's ``query --connect``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graph.edge import EdgeKey
+from repro.serving import wire
+
+__all__ = [
+    "ServingError",
+    "RetryLater",
+    "DeadlineExceeded",
+    "ServerClosed",
+    "WireResult",
+    "ServingClient",
+    "SyncServingClient",
+    "connect",
+]
+
+
+class ServingError(RuntimeError):
+    """The server answered with ``status: error`` (or the wire broke)."""
+
+
+class RetryLater(ServingError):
+    """Typed admission reject: the server is saturated, resubmit later."""
+
+
+class DeadlineExceeded(ServingError):
+    """The request's ``deadline_ms`` passed before the server answered it."""
+
+
+class ServerClosed(ServingError):
+    """The server is draining (or the connection is gone): reconnect elsewhere."""
+
+
+@dataclass(frozen=True)
+class WireResult:
+    """One answered query: the estimate values plus their generation tag.
+
+    ``generation`` is the server engine's ingest generation at answer time —
+    sessions use it for monotonic-reads checking.  ``degraded`` mirrors
+    :class:`~repro.api.results.Provenance` semantics for sharded backends
+    serving with dead shards.
+    """
+
+    values: Tuple[float, ...]
+    generation: int
+    degraded: bool = False
+
+    @property
+    def value(self) -> float:
+        """The single value (point queries and subgraph aggregates)."""
+        if len(self.values) != 1:
+            raise ValueError(f"result holds {len(self.values)} values, not 1")
+        return self.values[0]
+
+
+_STATUS_ERRORS = {
+    wire.STATUS_RETRY_LATER: RetryLater,
+    wire.STATUS_DEADLINE: DeadlineExceeded,
+    wire.STATUS_SHUTTING_DOWN: ServerClosed,
+}
+
+
+class ServingClient:
+    """Async pipelined client over one connection (see the module docstring).
+
+    Use :func:`connect` (or ``async with``) rather than constructing
+    directly; the hello frame is consumed during :meth:`_start`.
+    """
+
+    def __init__(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._reader = reader
+        self._writer = writer
+        self._next_id = 0
+        self._pending: Dict[int, "asyncio.Future[dict]"] = {}
+        self._reader_task: Optional["asyncio.Task[None]"] = None
+        self.hello: dict = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    async def _start(self) -> None:
+        frame = await wire.read_frame(self._reader)
+        if frame is None or frame.get("op") != wire.OP_HELLO:
+            raise ServingError(f"expected hello frame, got {frame!r}")
+        if frame.get("protocol") != wire.PROTOCOL_VERSION:
+            raise ServingError(
+                f"protocol mismatch: server speaks {frame.get('protocol')}, "
+                f"client speaks {wire.PROTOCOL_VERSION}"
+            )
+        self.hello = frame
+        self._reader_task = asyncio.get_running_loop().create_task(self._read_loop())
+
+    async def close(self) -> None:
+        # No early return on _closed: a server-side disconnect marks the
+        # client closed without tearing down the transport, and close()
+        # must still release it.  Every step below is idempotent.
+        self._closed = True
+        if self._reader_task is not None:
+            task, self._reader_task = self._reader_task, None
+            task.cancel()
+            try:
+                await task
+            except (asyncio.CancelledError, Exception):
+                pass
+        try:
+            self._writer.close()
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._fail_pending(ServerClosed("connection closed"))
+
+    async def __aenter__(self) -> "ServingClient":
+        return self
+
+    async def __aexit__(self, exc_type, exc, tb) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------ #
+    # Demux plumbing
+    # ------------------------------------------------------------------ #
+    def _fail_pending(self, exc: Exception) -> None:
+        # The connection is dead on every path that reaches here; refuse
+        # later requests immediately instead of parking them forever on a
+        # socket nothing reads anymore.
+        self._closed = True
+        pending, self._pending = self._pending, {}
+        for future in pending.values():
+            if not future.done():
+                future.set_exception(exc)
+
+    async def _read_loop(self) -> None:
+        try:
+            while True:
+                frame = await wire.read_frame(self._reader)
+                if frame is None:
+                    self._fail_pending(ServerClosed("server closed the connection"))
+                    return
+                future = self._pending.pop(frame.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(frame)
+        except wire.WireError as exc:
+            self._fail_pending(ServingError(str(exc)))
+        except (ConnectionError, OSError) as exc:
+            self._fail_pending(ServerClosed(str(exc)))
+
+    async def _request(self, payload: dict) -> dict:
+        if self._closed:
+            raise ServerClosed("client is closed")
+        request_id = self._next_id
+        self._next_id += 1
+        payload["id"] = request_id
+        future: "asyncio.Future[dict]" = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(wire.encode_frame(payload))
+            await self._writer.drain()
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise ServerClosed(str(exc)) from exc
+        frame = await future
+        status = frame.get("status")
+        if status == wire.STATUS_OK:
+            return frame
+        error_cls = _STATUS_ERRORS.get(str(status), ServingError)
+        raise error_cls(str(frame.get("error", status)))
+
+    # ------------------------------------------------------------------ #
+    # Query surface
+    # ------------------------------------------------------------------ #
+    async def ping(self) -> bool:
+        frame = await self._request({"op": wire.OP_PING})
+        return bool(frame.get("pong"))
+
+    async def query_edges(
+        self,
+        edges: Sequence[EdgeKey],
+        deadline_ms: Optional[float] = None,
+    ) -> WireResult:
+        """Point-estimate a batch of edges (rides the coalesced lane)."""
+        payload: dict = {
+            "op": wire.OP_QUERY_EDGES,
+            "edges": wire.edges_to_wire(edges),
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        frame = await self._request(payload)
+        return WireResult(
+            values=tuple(float(v) for v in frame["values"]),
+            generation=int(frame.get("generation", 0)),
+            degraded=bool(frame.get("degraded", False)),
+        )
+
+    async def query_edge(
+        self, source: object, target: object, deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        return await self.query_edges([(source, target)], deadline_ms)
+
+    async def query_subgraph(
+        self,
+        edges: Sequence[EdgeKey],
+        aggregate: str = "sum",
+        deadline_ms: Optional[float] = None,
+    ) -> WireResult:
+        """Aggregate subgraph query; the server combines per-edge estimates."""
+        payload: dict = {
+            "op": wire.OP_QUERY_SUBGRAPH,
+            "edges": wire.edges_to_wire(edges),
+            "aggregate": aggregate,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        frame = await self._request(payload)
+        return WireResult(
+            values=(float(frame["value"]),),
+            generation=int(frame.get("generation", 0)),
+            degraded=bool(frame.get("degraded", False)),
+        )
+
+    async def query_edges_confidence(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> List[dict]:
+        """Typed estimates with intervals/provenance (served inline, uncoalesced)."""
+        payload: dict = {
+            "op": wire.OP_QUERY_EDGES,
+            "edges": wire.edges_to_wire(edges),
+            "confidence": True,
+        }
+        if deadline_ms is not None:
+            payload["deadline_ms"] = float(deadline_ms)
+        frame = await self._request(payload)
+        return list(frame["estimates"])
+
+    async def ingest(self, edges: Sequence) -> Tuple[int, int]:
+        """Send live updates (``allow_ingest`` servers only).
+
+        Each edge is ``(source, target[, timestamp[, frequency]])``.
+        Returns ``(edges_ingested, new_generation)``.
+        """
+        payload = {
+            "op": wire.OP_INGEST,
+            "edges": [list(edge) for edge in edges],
+        }
+        frame = await self._request(payload)
+        return int(frame.get("ingested", 0)), int(frame.get("generation", 0))
+
+
+async def connect(host: str, port: int) -> ServingClient:
+    """Open a connection and complete the hello handshake."""
+    reader, writer = await asyncio.open_connection(host, port)
+    client = ServingClient(reader, writer)
+    try:
+        await client._start()
+    except BaseException:
+        writer.close()
+        raise
+    return client
+
+
+class SyncServingClient:
+    """Blocking facade over :class:`ServingClient` (private loop thread).
+
+    Safe to call from multiple threads — every call round-trips through the
+    client's event loop.  Also a context manager::
+
+        with SyncServingClient("127.0.0.1", 8765) as client:
+            print(client.query_edge("a", "b").value)
+    """
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._timeout = timeout
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-serving-client", daemon=True
+        )
+        self._thread.start()
+        try:
+            self._client = self._call(connect(host, port))
+        except BaseException:
+            self._stop_loop()
+            raise
+
+    def _call(self, coroutine):
+        future = asyncio.run_coroutine_threadsafe(coroutine, self._loop)
+        return future.result(timeout=self._timeout)
+
+    def _stop_loop(self) -> None:
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=5.0)
+        self._loop.close()
+
+    @property
+    def hello(self) -> dict:
+        return self._client.hello
+
+    def ping(self) -> bool:
+        return self._call(self._client.ping())
+
+    def query_edges(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        return self._call(self._client.query_edges(edges, deadline_ms))
+
+    def query_edge(
+        self, source: object, target: object, deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        return self._call(self._client.query_edge(source, target, deadline_ms))
+
+    def query_subgraph(
+        self,
+        edges: Sequence[EdgeKey],
+        aggregate: str = "sum",
+        deadline_ms: Optional[float] = None,
+    ) -> WireResult:
+        return self._call(self._client.query_subgraph(edges, aggregate, deadline_ms))
+
+    def query_edges_confidence(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> List[dict]:
+        return self._call(self._client.query_edges_confidence(edges, deadline_ms))
+
+    def ingest(self, edges: Sequence) -> Tuple[int, int]:
+        return self._call(self._client.ingest(edges))
+
+    def close(self) -> None:
+        if self._thread.is_alive():
+            try:
+                self._call(self._client.close())
+            finally:
+                self._stop_loop()
+
+    def __enter__(self) -> "SyncServingClient":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

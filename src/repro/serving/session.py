@@ -1,0 +1,180 @@
+"""Sessions: monotonic-reads consistency over the serving wire.
+
+Every server response carries the engine's ingest ``generation`` at answer
+time.  A session wraps a client and *asserts monotonic reads*: once a
+response at generation *g* has been observed, any later response at a
+generation < *g* raises :class:`ConsistencyError`.
+
+The server upholds the guarantee by construction — all backend access is
+serialized on one event-loop thread and the coalescer is FIFO, so answers
+observed over a single connection can never regress.  The session exists to
+*detect* violations (a misbehaving proxy, a failover to a stale replica, a
+future server bug) rather than to mask them, and to give callers a typed
+place to read the generation watermark (:attr:`Session.generation_observed`).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.graph.edge import EdgeKey
+from repro.serving.client import (
+    ServingClient,
+    SyncServingClient,
+    WireResult,
+)
+
+__all__ = ["ConsistencyError", "Session", "SyncSession"]
+
+
+class ConsistencyError(RuntimeError):
+    """A response regressed the session's generation watermark."""
+
+
+class _Watermark:
+    """The shared monotonic-reads check (async and sync sessions)."""
+
+    __slots__ = ("generation_observed",)
+
+    def __init__(self) -> None:
+        self.generation_observed = 0
+
+    def observe(self, generation: int) -> None:
+        if generation < self.generation_observed:
+            raise ConsistencyError(
+                f"monotonic reads violated: observed generation "
+                f"{self.generation_observed}, then answered at {generation}"
+            )
+        self.generation_observed = generation
+
+
+class Session(ServingClient):
+    """An async client that enforces monotonic reads across its lifetime.
+
+    Constructed from an already-connected client's streams via
+    :meth:`adopt`, or with :func:`repro.serving.client.connect` followed by
+    ``Session.adopt(client)``.
+    """
+
+    def __init__(self, *args, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self._watermark = _Watermark()
+
+    @classmethod
+    def adopt(cls, client: ServingClient) -> "Session":
+        """Rebind a connected client as a session (takes over its streams)."""
+        session = cls.__new__(cls)
+        session.__dict__ = {}
+        # Sessions share no state with the donor client beyond the streams
+        # and reader task; moving the attributes over retires the donor.
+        for name in (
+            "_reader",
+            "_writer",
+            "_next_id",
+            "_pending",
+            "_reader_task",
+            "hello",
+            "_closed",
+        ):
+            setattr(session, name, getattr(client, name))
+        session._watermark = _Watermark()
+        initial = client.hello.get("generation")
+        if initial is not None:
+            session._watermark.observe(int(initial))
+        return session
+
+    @property
+    def generation_observed(self) -> int:
+        """The highest generation any response in this session carried."""
+        return self._watermark.generation_observed
+
+    def _observe(self, result: WireResult) -> WireResult:
+        self._watermark.observe(result.generation)
+        return result
+
+    async def query_edges(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        return self._observe(await super().query_edges(edges, deadline_ms))
+
+    async def query_subgraph(
+        self,
+        edges: Sequence[EdgeKey],
+        aggregate: str = "sum",
+        deadline_ms: Optional[float] = None,
+    ) -> WireResult:
+        return self._observe(
+            await super().query_subgraph(edges, aggregate, deadline_ms)
+        )
+
+    async def ingest(self, edges: Sequence):
+        ingested, generation = await super().ingest(edges)
+        self._watermark.observe(generation)
+        return ingested, generation
+
+
+async def open_session(host: str, port: int) -> Session:
+    """Connect and wrap the connection in a monotonic-reads session."""
+    from repro.serving.client import connect
+
+    return Session.adopt(await connect(host, port))
+
+
+class SyncSession:
+    """Blocking session: a :class:`SyncServingClient` plus the watermark."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self._client = SyncServingClient(host, port, timeout)
+        self._watermark = _Watermark()
+        initial = self._client.hello.get("generation")
+        if initial is not None:
+            self._watermark.observe(int(initial))
+
+    @property
+    def hello(self) -> dict:
+        return self._client.hello
+
+    @property
+    def generation_observed(self) -> int:
+        return self._watermark.generation_observed
+
+    def query_edges(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        result = self._client.query_edges(edges, deadline_ms)
+        self._watermark.observe(result.generation)
+        return result
+
+    def query_edge(
+        self, source: object, target: object, deadline_ms: Optional[float] = None
+    ) -> WireResult:
+        return self.query_edges([(source, target)], deadline_ms)
+
+    def query_subgraph(
+        self,
+        edges: Sequence[EdgeKey],
+        aggregate: str = "sum",
+        deadline_ms: Optional[float] = None,
+    ) -> WireResult:
+        result = self._client.query_subgraph(edges, aggregate, deadline_ms)
+        self._watermark.observe(result.generation)
+        return result
+
+    def query_edges_confidence(
+        self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
+    ) -> List[dict]:
+        return self._client.query_edges_confidence(edges, deadline_ms)
+
+    def ingest(self, edges: Sequence):
+        ingested, generation = self._client.ingest(edges)
+        self._watermark.observe(generation)
+        return ingested, generation
+
+    def close(self) -> None:
+        self._client.close()
+
+    def __enter__(self) -> "SyncSession":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.close()

@@ -273,6 +273,133 @@ def test_query_gate_fails_on_missing_row(query_reports):
     assert code == 1
 
 
+SERVE_BASELINES = {
+    "tolerance": 0.1,
+    "profiles": {
+        "quick": {
+            "serve": {
+                "require_parity": True,
+                "require_overload": True,
+                "floors": [
+                    {
+                        "clients": 64,
+                        "baseline_clients": 1,
+                        "min_qps_ratio": 2.0,
+                        "max_p99_ms": 100.0,
+                    }
+                ],
+            }
+        }
+    },
+}
+
+
+def _serve_report(
+    rows,
+    parity: bool = True,
+    row_parity: bool = True,
+    overload_ok: bool = True,
+) -> dict:
+    return {
+        "parity_ok": parity,
+        "results": [
+            {
+                "clients": clients,
+                "qps": qps,
+                "p99_ms": p99_ms,
+                "parity_ok": row_parity,
+            }
+            for clients, qps, p99_ms in rows
+        ],
+        "overload": {
+            "ok": overload_ok,
+            "rejected": 17,
+            "max_depth": 128,
+            "max_pending": 128,
+        },
+    }
+
+
+@pytest.fixture
+def serve_reports(tmp_path):
+    def write(name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return str(path)
+
+    baselines = write("serve_baselines.json", SERVE_BASELINES)
+    healthy = write(
+        "serve_good.json", _serve_report([(1, 700.0, 3.0), (64, 6_000.0, 40.0)])
+    )
+    return baselines, healthy, write
+
+
+def test_serve_gate_passes_on_healthy_report(serve_reports, capsys):
+    baselines, healthy, _ = serve_reports
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", healthy, "--baselines", baselines]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "64 clients" in out
+    assert "overload" in out
+
+
+def test_serve_gate_fails_on_qps_ratio_regression(serve_reports):
+    baselines, _, write = serve_reports
+    flat = write(
+        "serve_flat.json", _serve_report([(1, 700.0, 3.0), (64, 900.0, 40.0)])
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", flat, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_serve_gate_fails_on_p99_ceiling(serve_reports):
+    baselines, _, write = serve_reports
+    laggy = write(
+        "serve_laggy.json", _serve_report([(1, 700.0, 3.0), (64, 6_000.0, 500.0)])
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", laggy, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_serve_gate_fails_on_overload_drill(serve_reports):
+    baselines, _, write = serve_reports
+    hung = write(
+        "serve_hung.json",
+        _serve_report([(1, 700.0, 3.0), (64, 6_000.0, 40.0)], overload_ok=False),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", hung, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_serve_gate_fails_on_row_level_parity_break(serve_reports):
+    baselines, _, write = serve_reports
+    broken = write(
+        "serve_parity.json",
+        _serve_report([(1, 700.0, 3.0), (64, 6_000.0, 40.0)], row_parity=False),
+    )
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", broken, "--baselines", baselines]
+    )
+    assert code == 1
+
+
+def test_serve_gate_fails_on_missing_concurrency_row(serve_reports):
+    baselines, _, write = serve_reports
+    missing = write("serve_missing.json", _serve_report([(1, 700.0, 3.0)]))
+    code = check_bench.main(
+        ["--profile", "quick", "--serve", missing, "--baselines", baselines]
+    )
+    assert code == 1
+
+
 def test_committed_baselines_parse_and_cover_both_profiles():
     """The checked-in floor file stays loadable and structurally sound."""
     path = pathlib.Path(__file__).resolve().parents[1] / "experiments" / "bench_baselines.json"
@@ -305,3 +432,19 @@ def test_committed_baselines_parse_and_cover_both_profiles():
         # ceiling, so the arena gather path itself is gated (a cache-only
         # floor would let an estimate_keys regression through).
         assert query_floors[("gsketch", 64)] > 1.0
+    # The serving acceptance bar: both profiles require wire parity and the
+    # overload drill, and gate the coalescing dividend (concurrent QPS over
+    # 1-client QPS); the full profile additionally bounds p99 at 256 clients
+    # so throughput can't be bought with unbounded queueing.
+    for profile in ("quick", "full"):
+        serve_rules = data["profiles"][profile]["serve"]
+        assert serve_rules["require_parity"] is True
+        assert serve_rules["require_overload"] is True
+        for floor in serve_rules["floors"]:
+            assert floor["clients"] > floor.get("baseline_clients", 1)
+            assert floor["min_qps_ratio"] >= 2.0
+    full_serve = {
+        f["clients"]: f for f in data["profiles"]["full"]["serve"]["floors"]
+    }
+    assert full_serve[256]["min_qps_ratio"] >= 3.0
+    assert full_serve[256]["max_p99_ms"] <= 250.0

@@ -409,3 +409,81 @@ def test_non_integer_labels_served_through_plan(small_config):
     keys = sorted(stream.distinct_edges())[:60] + [("never-seen", "w1")]
     assert gsketch.query_edges(keys) == gsketch.query_edges_direct(keys)
     assert gsketch.query_edges(keys[:3]) == gsketch.query_edges_direct(keys[:3])
+
+
+# ---------------------------------------------------------------------- #
+# Per-key partial hits on large (coalesced) batches
+# ---------------------------------------------------------------------- #
+def test_hot_cache_lookup_partial_serves_hits_and_marks_misses():
+    cache = HotEdgeCache(capacity=8)
+    # Empty memo: signal "use the untouched vectorized path" — and that
+    # probe costs no counter churn.
+    assert cache.lookup_partial(1, [1, 2]) == (None, None)
+    assert cache.hits == 0 and cache.misses == 0
+    cache.store_many(1, [1, 3], [10.0, 30.0])
+    values, miss = cache.lookup_partial(1, [1, 2, 3, 4])
+    assert values.tolist() == [10.0, 0.0, 30.0, 0.0]
+    assert miss.tolist() == [False, True, False, True]
+    # Unlike lookup_many's all-or-nothing contract, hits and misses are
+    # tallied per key.
+    assert cache.hits == 2 and cache.misses == 2
+
+
+def test_hot_cache_lookup_partial_generation_move_clears():
+    cache = HotEdgeCache(capacity=8)
+    cache.store_many(1, [1, 2], [1.0, 2.0])
+    assert cache.lookup_partial(2, [1, 2]) == (None, None)
+    assert len(cache) == 0
+    assert cache.invalidations == 1
+
+
+def test_large_batch_partial_hits_stay_bit_exact(zipf_stream, zipf_sample, small_config):
+    """A coalesced batch overlapping a warm memo merges cached and gathered
+    values bit-identically to the direct routed path."""
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    keys = _query_set(zipf_stream, count=3 * HOT_CACHE_MAX_BATCH)
+    assert len(keys) > HOT_CACHE_MAX_BATCH
+    half = len(keys) // 2
+    cache = gsketch._hot_cache
+
+    # Warm the memo with the first half (a large batch itself), then query
+    # an overlapping large batch: the first half must come from the memo,
+    # only the second half from the arena.
+    warm = gsketch.query_edges(keys[:half])
+    hits_before = cache.hits
+    merged = gsketch.query_edges(keys)
+    assert cache.hits == hits_before + half
+    direct = gsketch.query_edges_direct(keys)
+    assert list(merged) == list(direct)
+    assert list(warm) == list(direct[:half])
+
+    # A fully warm repeat is served without touching the arena path.
+    hits_before = cache.hits
+    repeat = gsketch.query_edges(keys)
+    assert cache.hits == hits_before + len(keys)
+    assert list(repeat) == list(direct)
+
+
+def test_large_batch_cold_path_populates_memo(zipf_stream, zipf_sample, small_config):
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    keys = _query_set(zipf_stream, count=2 * HOT_CACHE_MAX_BATCH)
+    cache = gsketch._hot_cache
+    assert cache.hits == 0
+    gsketch.query_edges(keys)  # cold: one vectorized gather, memo filled
+    assert len(cache) == len(set(keys))
+    assert cache.hits == 0
+
+
+def test_large_batch_partial_hits_survive_duplicate_keys(
+    zipf_stream, zipf_sample, small_config
+):
+    gsketch = GSketch.build(zipf_sample, small_config, stream_size_hint=len(zipf_stream))
+    gsketch.process(zipf_stream)
+    base = _query_set(zipf_stream, count=2 * HOT_CACHE_MAX_BATCH)
+    gsketch.query_edges(base[: len(base) // 2])
+    doubled = base + base[:7]  # repeats spanning both the hit and miss sets
+    assert list(gsketch.query_edges(doubled)) == list(
+        gsketch.query_edges_direct(doubled)
+    )

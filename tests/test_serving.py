@@ -1,0 +1,811 @@
+"""The serving tier: wire protocol, coalescing, consistency, overload, drain.
+
+The acceptance bars under test:
+
+* **parity** — every answer over the wire is bit-identical to a direct
+  ``query_edges`` on the same engine, under any interleaving of concurrent
+  clients (JSON round-trips float64 exactly);
+* **coalescing** — point queries in flight from different connections drain
+  into shared compiled-plan gathers (server stats prove batches < requests);
+* **consistency** — sessions observe monotonic generations across live
+  wire-ingest and the plan rebuild it forces;
+* **overload** — beyond the admission bound requests are shed with *typed*
+  ``retry_later`` rejects, queue depth stays bounded, nothing hangs, and a
+  slow client is dropped without stalling healthy peers;
+* **drain** — shutdown answers everything already admitted before closing.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import signal
+import socket
+import struct
+import subprocess
+import sys
+import time
+
+import pytest
+
+from conftest import make_zipf_stream
+from repro import faults
+from repro.api.engine import SketchEngine
+from repro.core.config import GSketchConfig
+from repro.queries.plan import demux_by_counts
+from repro.serving import wire
+from repro.serving.client import (
+    DeadlineExceeded,
+    RetryLater,
+    ServerClosed,
+    ServingError,
+    SyncServingClient,
+    connect,
+)
+from repro.serving.coalesce import (
+    AdmissionError,
+    CoalescingQueue,
+    DeadlineExceededError,
+)
+from repro.serving.server import ServingConfig, SketchServer, serve_in_background
+from repro.serving.session import ConsistencyError, SyncSession, _Watermark
+
+
+@pytest.fixture(scope="module")
+def serve_stream():
+    return make_zipf_stream(num_edges=3_000, population=300, seed=11)
+
+
+@pytest.fixture(scope="module")
+def serve_config():
+    return GSketchConfig(total_cells=8_000, depth=4, seed=7)
+
+
+def _build_engine(stream, config, **builder_kwargs):
+    builder = SketchEngine.builder().config(config).dataset(stream)
+    engine = builder.build()
+    engine.ingest(stream)
+    return engine
+
+
+@pytest.fixture(scope="module")
+def engine(serve_stream, serve_config):
+    """A read-only gsketch engine shared by the pure-query tests."""
+    engine = _build_engine(serve_stream, serve_config)
+    yield engine
+    engine.close()
+
+
+@pytest.fixture(scope="module")
+def query_keys(serve_stream):
+    keys = sorted(serve_stream.distinct_edges())[:64]
+    keys.append((10**9, 3))  # outlier-routed
+    return keys
+
+
+# ---------------------------------------------------------------------- #
+# Wire protocol
+# ---------------------------------------------------------------------- #
+class TestWire:
+    def test_frame_roundtrip_preserves_float64_bits(self):
+        values = [0.1 + 0.2, 1e-309, 7.5, float(2**53 - 1), 3.141592653589793]
+        payload = {"op": "query_edges", "values": values, "id": 7}
+        assert wire.decode_body(wire.encode_frame(payload)[4:]) == payload
+
+    def test_reader_roundtrip_and_clean_eof(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(wire.encode_frame({"a": 1}))
+            reader.feed_data(wire.encode_frame({"b": [1, 2]}))
+            reader.feed_eof()
+            assert await wire.read_frame(reader) == {"a": 1}
+            assert await wire.read_frame(reader) == {"b": [1, 2]}
+            assert await wire.read_frame(reader) is None  # clean EOF
+
+        asyncio.run(scenario())
+
+    def test_oversized_frame_rejected_without_reading_body(self):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(struct.pack(">I", 10_000_000) + b"x" * 64)
+            with pytest.raises(wire.WireError, match="exceeds"):
+                await wire.read_frame(reader, max_frame_bytes=1024)
+
+        asyncio.run(scenario())
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"\x00\x00",  # torn mid-header
+            struct.pack(">I", 100) + b"{tru",  # torn mid-body
+        ],
+    )
+    def test_truncated_frame_raises(self, raw):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(raw)
+            reader.feed_eof()
+            with pytest.raises(wire.WireError):
+                await wire.read_frame(reader)
+
+        asyncio.run(scenario())
+
+    def test_frame_body_must_be_json_object(self):
+        with pytest.raises(wire.WireError):
+            wire.decode_body(b"[1, 2, 3]")
+        with pytest.raises(wire.WireError):
+            wire.decode_body(b"\xff\xfe")
+
+    def test_edges_from_wire_validation(self):
+        assert wire.edges_from_wire([[1, 2], ["a", "b"]]) == [(1, 2), ("a", "b")]
+        for bad in (None, [], "ab", [[1]], [[1, 2, 3]], [[1, [2]]]):
+            with pytest.raises(wire.WireError):
+                wire.edges_from_wire(bad)
+
+    def test_parse_address(self):
+        assert wire.parse_address("127.0.0.1:8765") == ("127.0.0.1", 8765)
+        for bad in ("no-port", "host:", "host:not-a-number", ":99"):
+            with pytest.raises(ValueError):
+                wire.parse_address(bad)
+
+
+# ---------------------------------------------------------------------- #
+# Coalescing queue (unit level, private event loop per test)
+# ---------------------------------------------------------------------- #
+def _echo_answer(keys):
+    """Deterministic per-key answer so demux slices are checkable."""
+    return [float(sum(key)) for key in keys], 42
+
+
+class TestCoalescingQueue:
+    def test_concurrent_submits_coalesce_into_one_gather(self):
+        calls = []
+
+        def answer(keys):
+            calls.append(list(keys))
+            return _echo_answer(keys)
+
+        async def scenario():
+            queue = CoalescingQueue(answer, max_delay_us=2_000)
+            queue.start()
+            futures = [queue.submit([(i, i + 1)]) for i in range(10)]
+            results = await asyncio.gather(*futures)
+            await queue.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert len(calls) == 1 and len(calls[0]) == 10
+        for index, (values, generation) in enumerate(results):
+            assert values == [float(index + index + 1)]
+            assert generation == 42
+
+    def test_demux_slices_match_multi_key_requests(self):
+        async def scenario():
+            queue = CoalescingQueue(_echo_answer, max_delay_us=2_000)
+            queue.start()
+            futures = [
+                queue.submit([(1, 2), (3, 4)]),
+                queue.submit([(5, 6)]),
+                queue.submit([(7, 8), (9, 10), (11, 12)]),
+            ]
+            results = await asyncio.gather(*futures)
+            await queue.stop()
+            return results
+
+        results = asyncio.run(scenario())
+        assert results[0][0] == [3.0, 7.0]
+        assert results[1][0] == [11.0]
+        assert results[2][0] == [15.0, 19.0, 23.0]
+
+    def test_admission_rejects_synchronously_beyond_max_pending(self):
+        async def scenario():
+            queue = CoalescingQueue(_echo_answer, max_pending=4, max_delay_us=50_000)
+            queue.start()
+            admitted = [queue.submit([(i, i)]) for i in range(4)]
+            with pytest.raises(AdmissionError):
+                queue.submit([(9, 9)])
+            results = await asyncio.gather(*admitted)
+            await queue.stop()
+            assert queue.rejected == 1
+            assert queue.max_depth <= 4
+            return results
+
+        assert len(asyncio.run(scenario())) == 4
+
+    def test_expired_deadline_gets_typed_error_not_stale_answer(self):
+        async def scenario():
+            queue = CoalescingQueue(_echo_answer, max_delay_us=10_000)
+            queue.start()
+            loop = asyncio.get_running_loop()
+            dead = queue.submit([(1, 2)], deadline=loop.time() - 0.001)
+            live = queue.submit([(3, 4)], deadline=loop.time() + 5.0)
+            with pytest.raises(DeadlineExceededError):
+                await dead
+            values, _ = await live
+            await queue.stop()
+            assert values == [7.0]
+            assert queue.expired == 1
+
+        asyncio.run(scenario())
+
+    def test_stop_drains_admitted_work_then_rejects(self):
+        async def scenario():
+            queue = CoalescingQueue(_echo_answer, max_delay_us=50_000)
+            queue.start()
+            admitted = [queue.submit([(i, i)]) for i in range(3)]
+            await queue.stop()  # drains without waiting out the dally
+            results = await asyncio.gather(*admitted)
+            assert [values for values, _ in results] == [[0.0], [2.0], [4.0]]
+            with pytest.raises(AdmissionError, match="draining"):
+                queue.submit([(9, 9)])
+
+        asyncio.run(scenario())
+
+    def test_answer_exception_fans_out_to_the_whole_batch(self):
+        def broken(keys):
+            raise RuntimeError("arena on fire")
+
+        async def scenario():
+            queue = CoalescingQueue(broken, max_delay_us=1_000)
+            queue.start()
+            futures = [queue.submit([(1, 2)]), queue.submit([(3, 4)])]
+            for future in futures:
+                with pytest.raises(RuntimeError, match="arena on fire"):
+                    await future
+            await queue.stop()
+
+        asyncio.run(scenario())
+
+    def test_demux_by_counts_validates_totals(self):
+        assert demux_by_counts([1.0, 2.0, 3.0], [2, 1]) == [[1.0, 2.0], [3.0]]
+        assert demux_by_counts([], []) == []
+        with pytest.raises(ValueError, match="counts sum"):
+            demux_by_counts([1.0, 2.0], [1])
+
+
+# ---------------------------------------------------------------------- #
+# Server round-trips (background thread, sync clients)
+# ---------------------------------------------------------------------- #
+class TestServerRoundTrip:
+    @pytest.fixture(scope="class")
+    def served(self, engine):
+        handle = engine.serve()
+        yield handle
+        handle.stop()
+
+    def test_point_queries_bit_exact_vs_direct(self, served, engine, query_keys):
+        direct = engine.estimator.query_edges(query_keys)
+        with SyncServingClient(*served.address) as client:
+            result = client.query_edges(query_keys)
+        assert list(result.values) == list(direct)
+
+    def test_single_edge_and_pipelining(self, served, engine, query_keys):
+        direct = engine.estimator.query_edges(query_keys[:8])
+        with SyncServingClient(*served.address) as client:
+            values = [
+                client.query_edge(source, target).value
+                for source, target in query_keys[:8]
+            ]
+        assert values == list(direct)
+
+    def test_subgraph_aggregates_combine_server_side(self, served, engine, query_keys):
+        direct = engine.estimator.query_edges(query_keys[:6])
+        with SyncServingClient(*served.address) as client:
+            total = client.query_subgraph(query_keys[:6], aggregate="sum")
+            peak = client.query_subgraph(query_keys[:6], aggregate="max")
+        assert total.value == sum(direct)
+        assert peak.value == max(direct)
+
+    def test_confidence_lane_matches_facade_estimates(self, served, engine, query_keys):
+        expected = [estimate.to_dict() for estimate in engine.estimate_edges(query_keys[:5])]
+        with SyncServingClient(*served.address) as client:
+            over_wire = client.query_edges_confidence(query_keys[:5])
+        assert over_wire == expected
+
+    def test_hello_carries_protocol_backend_generation(self, served, engine):
+        with SyncServingClient(*served.address) as client:
+            hello = client.hello
+        assert hello["protocol"] == wire.PROTOCOL_VERSION
+        assert hello["backend"] == engine.backend
+        assert hello["generation"] == int(engine.estimator.ingest_generation)
+
+    def test_bad_request_gets_typed_error_response(self, served):
+        with SyncServingClient(*served.address) as client:
+            with pytest.raises(ServingError, match="aggregate"):
+                client.query_subgraph([(1, 2)], aggregate="no-such-aggregate")
+            with pytest.raises(ServingError, match="edges"):
+                client.query_edges([])  # the server rejects empty batches typed
+            # The connection survives typed errors.
+            assert client.ping()
+
+    def test_ingest_disabled_by_default(self, served):
+        with SyncServingClient(*served.address) as client:
+            with pytest.raises(ServingError, match="allow_ingest"):
+                client.ingest([(1, 2)])
+
+    def test_engine_serve_is_a_context_manager(self, serve_stream, serve_config):
+        engine = _build_engine(serve_stream, serve_config)
+        try:
+            with engine.serve() as handle:
+                with SyncServingClient(*handle.address) as client:
+                    assert client.ping()
+        finally:
+            engine.close()
+
+
+# ---------------------------------------------------------------------- #
+# Cross-client coalescing and interleaved parity
+# ---------------------------------------------------------------------- #
+class TestConcurrency:
+    def test_concurrent_clients_coalesce_into_shared_batches(self, engine, query_keys):
+        # A long dally makes coalescing deterministic: every query in flight
+        # during one window lands in one gather.
+        config = ServingConfig(max_delay_us=20_000)
+        handle = serve_in_background(engine, config=config)
+        try:
+            host, port = handle.address
+
+            async def fire(n):
+                clients = [await connect(host, port) for _ in range(n)]
+                try:
+                    await asyncio.gather(
+                        *(
+                            client.query_edges([query_keys[i % len(query_keys)]])
+                            for i, client in enumerate(clients)
+                        )
+                    )
+                finally:
+                    for client in clients:
+                        await client.close()
+
+            asyncio.run(fire(12))
+            stats = handle.stats()["coalescer"]
+        finally:
+            handle.stop()
+        assert stats["submitted"] == 12
+        assert stats["batches"] < stats["submitted"]
+        assert stats["mean_batch_size"] > 1.0
+
+    def test_interleaved_clients_stay_bit_exact_vs_oracle(self, engine, query_keys):
+        oracle = dict(zip(query_keys, engine.estimator.query_edges(query_keys)))
+        handle = engine.serve()
+        try:
+            host, port = handle.address
+
+            async def client_loop(index):
+                client = await connect(host, port)
+                mismatches = 0
+                generations = []
+                try:
+                    for round_ in range(40):
+                        key = query_keys[(index * 7 + round_) % len(query_keys)]
+                        result = await client.query_edges([key])
+                        generations.append(result.generation)
+                        if result.values[0] != oracle[key]:
+                            mismatches += 1
+                finally:
+                    await client.close()
+                return mismatches, generations
+
+            outcomes = asyncio.run(
+                _gather_clients(client_loop, num_clients=8)
+            )
+        finally:
+            handle.stop()
+        assert sum(mismatches for mismatches, _ in outcomes) == 0
+        for _, generations in outcomes:
+            assert generations == sorted(generations), "generation regressed"
+
+
+async def _gather_clients(client_loop, num_clients):
+    return await asyncio.gather(*(client_loop(i) for i in range(num_clients)))
+
+
+# ---------------------------------------------------------------------- #
+# Sessions: monotonic reads across live ingest
+# ---------------------------------------------------------------------- #
+class TestSessions:
+    def test_watermark_detects_regression(self):
+        watermark = _Watermark()
+        watermark.observe(3)
+        watermark.observe(3)
+        watermark.observe(5)
+        with pytest.raises(ConsistencyError, match="monotonic"):
+            watermark.observe(4)
+
+    def test_monotonic_reads_across_wire_ingest_and_plan_rebuild(
+        self, serve_stream, serve_config
+    ):
+        engine = _build_engine(serve_stream, serve_config)
+        handle = serve_in_background(
+            engine, config=ServingConfig(allow_ingest=True)
+        )
+        try:
+            host, port = handle.address
+            plan_before = engine.estimator.compile_plan().generation
+            with SyncSession(host, port) as session:
+                first = session.query_edges([("s-new", "t-new")])
+                assert first.values[0] == 0.0
+                generation_before = session.generation_observed
+
+                ingested, generation = session.ingest(
+                    [("s-new", "t-new"), ("s-new", "t-new"), ("s-other", "t-new")]
+                )
+                assert ingested == 3
+                assert generation > generation_before
+
+                # Reads after the ingest see its writes and never regress.
+                second = session.query_edges([("s-new", "t-new")])
+                assert second.values[0] >= 2.0
+                assert second.generation >= generation
+                assert session.generation_observed >= generation
+            # The wire ingest forced a real plan rebuild on the engine.
+            assert engine.estimator.compile_plan().generation > plan_before
+        finally:
+            handle.stop()
+            engine.close()
+
+    def test_sync_session_seeds_watermark_from_hello(self, engine):
+        handle = engine.serve()
+        try:
+            with SyncSession(*handle.address) as session:
+                assert session.generation_observed == int(
+                    engine.estimator.ingest_generation
+                )
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Overload: typed rejects, bounded depth, slow clients, deadlines
+# ---------------------------------------------------------------------- #
+class TestOverload:
+    def test_queue_full_sheds_with_typed_retry_later(self, engine, query_keys):
+        config = ServingConfig(max_pending=8, max_delay_us=50_000)
+        handle = serve_in_background(engine, config=config)
+        try:
+            host, port = handle.address
+
+            async def flood():
+                client = await connect(host, port)
+                try:
+                    results = await asyncio.gather(
+                        *(
+                            client.query_edges([query_keys[i % len(query_keys)]])
+                            for i in range(64)
+                        ),
+                        return_exceptions=True,
+                    )
+                finally:
+                    await client.close()
+                return results
+
+            results = asyncio.run(asyncio.wait_for(flood(), timeout=30.0))
+            stats = handle.stats()
+        finally:
+            handle.stop()
+        rejected = [r for r in results if isinstance(r, RetryLater)]
+        answered = [r for r in results if not isinstance(r, Exception)]
+        assert len(rejected) + len(answered) == 64, "a request hung or died untyped"
+        assert rejected, "overload never surfaced as retry_later"
+        assert answered, "admission shed everything"
+        assert stats["coalescer"]["max_depth"] <= 8, "queue depth exceeded the bound"
+        assert stats["requests"]["retry_later"] == len(rejected)
+
+    def test_per_connection_inflight_cap_sheds_greedy_pipeliner(
+        self, engine, query_keys
+    ):
+        config = ServingConfig(max_inflight=4, max_delay_us=50_000)
+        handle = serve_in_background(engine, config=config)
+        try:
+            host, port = handle.address
+
+            async def pipeline():
+                client = await connect(host, port)
+                try:
+                    return await asyncio.gather(
+                        *(client.query_edges([query_keys[0]]) for _ in range(16)),
+                        return_exceptions=True,
+                    )
+                finally:
+                    await client.close()
+
+            results = asyncio.run(asyncio.wait_for(pipeline(), timeout=30.0))
+        finally:
+            handle.stop()
+        assert any(isinstance(r, RetryLater) for r in results)
+        assert any(not isinstance(r, Exception) for r in results)
+
+    def test_expired_deadline_is_typed_over_the_wire(self, engine, query_keys):
+        config = ServingConfig(max_delay_us=200_000)  # park requests in the queue
+        handle = serve_in_background(engine, config=config)
+        try:
+            with SyncServingClient(*handle.address) as client:
+                with pytest.raises(DeadlineExceeded):
+                    client.query_edges(query_keys[:2], deadline_ms=1.0)
+        finally:
+            handle.stop()
+
+    def test_slow_client_is_dropped_without_stalling_healthy_peer(
+        self, engine, query_keys
+    ):
+        config = ServingConfig(
+            max_write_queue=4,
+            max_inflight=4_096,
+            max_pending=1_000_000,
+            max_batch=4_096,
+        )
+        handle = serve_in_background(engine, config=config)
+        try:
+            host, port = handle.address
+            # The slow client advertises a tiny receive window and never
+            # reads: large responses back up through the kernel, the
+            # per-connection write queue fills, and the server drops it.
+            slow = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+            slow.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 4_096)
+            slow.connect((host, port))
+            big_batch = [list(key) for key in query_keys] * 32  # ~2k keys/request
+            frame = wire.encode_frame(
+                {"op": wire.OP_QUERY_EDGES, "id": 1, "edges": big_batch}
+            )
+            try:
+                slow.settimeout(10.0)
+                for index in range(200):
+                    try:
+                        slow.sendall(frame)
+                    except (BrokenPipeError, ConnectionResetError, socket.timeout):
+                        break  # server already dropped us
+
+                # A healthy peer stays responsive while the slow one backs up.
+                direct = engine.estimator.query_edges(query_keys[:4])
+                began = time.monotonic()
+                with SyncServingClient(host, port) as client:
+                    values = list(client.query_edges(query_keys[:4]).values)
+                assert values == list(direct)
+                assert time.monotonic() - began < 10.0
+
+                deadline = time.monotonic() + 20.0
+                while time.monotonic() < deadline:
+                    if handle.stats()["connections_dropped"] >= 1:
+                        break
+                    time.sleep(0.1)
+                assert handle.stats()["connections_dropped"] >= 1, (
+                    "slow client was never dropped"
+                )
+            finally:
+                slow.close()
+        finally:
+            handle.stop()
+
+
+# ---------------------------------------------------------------------- #
+# Graceful drain
+# ---------------------------------------------------------------------- #
+class TestDrain:
+    def test_shutdown_answers_admitted_requests_then_sheds(self, engine, query_keys):
+        direct = engine.estimator.query_edges(query_keys[:1])
+
+        async def scenario():
+            server = SketchServer(
+                engine, config=ServingConfig(max_delay_us=100_000)
+            )
+            await server.start()
+            host, port = server.address
+            client = await connect(host, port)
+            try:
+                # Admit requests that will still be dallying when the drain
+                # starts, then shut down underneath them.
+                in_flight = [
+                    asyncio.ensure_future(client.query_edges([query_keys[0]]))
+                    for _ in range(4)
+                ]
+                await asyncio.sleep(0.05)  # let dispatch admit them
+                await server.shutdown()
+                results = await asyncio.gather(*in_flight, return_exceptions=True)
+                answered = [
+                    r for r in results if not isinstance(r, Exception)
+                ]
+                assert answered, "drain dropped admitted work"
+                for result in answered:
+                    assert list(result.values) == list(direct)
+                # The connection is gone afterwards; new requests fail typed.
+                with pytest.raises((ServerClosed, ServingError)):
+                    await client.query_edges([query_keys[0]])
+            finally:
+                await client.close()
+            return True
+
+        assert asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+    def test_draining_server_sheds_new_queries_typed(self, engine, query_keys):
+        async def scenario():
+            server = SketchServer(engine, config=ServingConfig())
+            await server.start()
+            client = await connect(*server.address)
+            try:
+                server._draining = True  # drain announced, listener still up
+                with pytest.raises(ServerClosed):
+                    await client.query_edges([query_keys[0]])
+            finally:
+                server._draining = False
+                await client.close()
+                await server.shutdown()
+
+        asyncio.run(asyncio.wait_for(scenario(), timeout=30.0))
+
+
+# ---------------------------------------------------------------------- #
+# Sharded and degraded serving over the wire
+# ---------------------------------------------------------------------- #
+class TestShardedServing:
+    def test_sharded_backend_served_bit_exact(self, serve_stream, serve_config):
+        engine = (
+            SketchEngine.builder()
+            .config(serve_config)
+            .dataset(serve_stream)
+            .sharded(2)
+            .build()
+        )
+        try:
+            engine.ingest(serve_stream)
+            keys = sorted(serve_stream.distinct_edges())[:48]
+            direct = engine.estimator.query_edges(keys)
+            with engine.serve() as handle:
+                with SyncServingClient(*handle.address) as client:
+                    assert client.hello["backend"] == "sharded"
+                    result = client.query_edges(keys)
+            assert list(result.values) == list(direct)
+        finally:
+            engine.close()
+
+    def test_degraded_provenance_crosses_the_wire(self, serve_stream, serve_config):
+        from repro.graph.sampling import reservoir_sample
+
+        sample = reservoir_sample(serve_stream, 800, seed=5)
+        spec = faults.FaultSpec(
+            site=faults.SITE_CRASH_BEFORE_APPLY, at_hit=1, shard=1, persistent=True
+        )
+        faults.install(faults.FaultPlan([spec]))
+        try:
+            engine = (
+                SketchEngine.builder()
+                .config(serve_config)
+                .sample(sample)
+                .stream_size_hint(len(serve_stream))
+                .sharded(3, "processes")
+                .recovery(
+                    max_restarts=1, backoff_seconds=0.01, degraded_serving=True
+                )
+                .build()
+            )
+            try:
+                engine.ingest(serve_stream, batch_size=256)
+                assert engine.estimator.degraded
+                # Stride across the whole distinct set so the query batch
+                # spans every shard's partitions, including the dead one.
+                all_keys = sorted(serve_stream.distinct_edges())
+                keys = all_keys[:: max(1, len(all_keys) // 256)]
+                direct = engine.estimator.query_edges(keys)
+                with engine.serve() as handle:
+                    with SyncServingClient(*handle.address) as client:
+                        result = client.query_edges(keys)
+                        confidence = client.query_edges_confidence(keys)
+                # Degraded serving is flagged on the coalesced lane...
+                assert result.degraded is True
+                assert list(result.values) == list(direct)
+                # ...and per-key provenance rides the confidence lane.
+                flagged = [row for row in confidence if row.get("degraded")]
+                assert flagged, "no confidence row carried degraded provenance"
+                for row in flagged:
+                    assert row["interval"]["upper_slack"] > 0.0
+            finally:
+                engine.close()
+        finally:
+            faults.clear()
+
+
+# ---------------------------------------------------------------------- #
+# CLI: serve + query --connect end to end
+# ---------------------------------------------------------------------- #
+class TestServeCli:
+    def test_serve_and_query_connect_roundtrip(self, tmp_path):
+        from repro.api.cli import main as cli_main
+
+        snapshot = str(tmp_path / "serve.snap")
+        assert (
+            cli_main(
+                [
+                    "build",
+                    "--dataset",
+                    "zipf",
+                    "--edges",
+                    "2000",
+                    "--cells",
+                    "6000",
+                    "--ingest",
+                    "--out",
+                    snapshot,
+                ]
+            )
+            == 0
+        )
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [sys.executable, "-m", "repro", "serve", "--snapshot", snapshot],
+            env=env,
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        try:
+            ready = json.loads(process.stdout.readline())
+            assert ready["serving"] is True and ready["port"] > 0
+            address = f"{ready['host']}:{ready['port']}"
+            result = subprocess.run(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro",
+                    "query",
+                    "--connect",
+                    address,
+                    "--edge",
+                    "1",
+                    "2",
+                ],
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=60,
+            )
+            assert result.returncode == 0, result.stderr
+            document = json.loads(result.stdout)
+            assert document["connect"] == address
+            assert len(document["estimates"]) == 1
+            assert document["estimates"][0]["value"] >= 0.0
+        finally:
+            process.send_signal(signal.SIGINT)
+            assert process.wait(timeout=30) == 0
+        final = json.loads(process.stdout.read())
+        assert final["serving"] is False
+        assert final["draining"] is True
+
+    def test_query_requires_exactly_one_target(self):
+        from repro.api.cli import main as cli_main
+
+        assert cli_main(["query", "--edge", "1", "2"]) == 2  # neither
+        assert (
+            cli_main(
+                [
+                    "query",
+                    "--edge",
+                    "1",
+                    "2",
+                    "--snapshot",
+                    "x.snap",
+                    "--connect",
+                    "h:1",
+                ]
+            )
+            == 2
+        )  # both
+
+    def test_query_connect_refuses_window_queries(self):
+        from repro.api.cli import main as cli_main
+
+        code = cli_main(
+            [
+                "query",
+                "--connect",
+                "127.0.0.1:1",
+                "--edge",
+                "1",
+                "2",
+                "--window",
+                "0",
+                "1",
+            ]
+        )
+        assert code == 2
