@@ -189,6 +189,11 @@ def check_query(report: dict, rules: dict, tolerance: float) -> List[CheckResult
     ``plan_qps / direct_qps >= min_ratio * (1 - tolerance)``; parity (the
     compiled plan answering bit-identically to the routed path, every
     backend) carries no tolerance.
+
+    ``reader_floors`` gate the parallel read plane: each names a pool size
+    and requires the report's ``readers-N`` keys/s to beat the
+    single-process coalesced-gather baseline (the ``readers=0`` row of the
+    same run) by ``min_ratio``, with pool demux parity required bit-exactly.
     """
     checks: List[CheckResult] = []
     rows = {
@@ -221,6 +226,26 @@ def check_query(report: dict, rules: dict, tolerance: float) -> List[CheckResult
                 tolerance,
             )
         )
+    reader_rows = {int(row["readers"]): row for row in report.get("readers", [])}
+    reader_floors = rules.get("reader_floors", [])
+    if reader_floors:
+        parity = bool(reader_rows) and all(
+            bool(row.get("parity_ok", False)) for row in reader_rows.values()
+        )
+        checks.append(
+            bool_row("query: reader-pool demux bit-exact parity (all rows)", parity)
+        )
+    for floor in reader_floors:
+        readers = int(floor["readers"])
+        min_ratio = float(floor["min_ratio"])
+        name = f"query[readers-{readers}]: pool / single-process gather"
+        row = reader_rows.get(readers)
+        if row is None:
+            checks.append(
+                missing_row(name, "row missing from report", min_ratio, tolerance)
+            )
+            continue
+        checks.append(ratio_row(name, float(row["ratio"]), min_ratio, tolerance))
     return checks
 
 
@@ -243,6 +268,14 @@ def check_serve(report: dict, rules: dict, tolerance: float) -> List[CheckResult
         )
         checks.append(
             bool_row("serve: wire answers bit-exact vs direct oracle", parity)
+        )
+    if rules.get("require_readers", False):
+        reader_rows = report.get("readers", [])
+        pool_parity = bool(reader_rows) and all(
+            bool(row.get("parity_ok", False)) for row in reader_rows
+        )
+        checks.append(
+            bool_row("serve: pool-served answers bit-exact (readers rows)", pool_parity)
         )
     if rules.get("require_overload", True):
         drill = report.get("overload", {})

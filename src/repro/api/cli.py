@@ -183,7 +183,7 @@ def cmd_query(args: argparse.Namespace) -> int:
             engine.query(WindowQuery(source, target, start, end)) for source, target in keys
         ]
     else:
-        estimates = engine.query_many([EdgeQuery(source, target) for source, target in keys])
+        estimates = engine.query([EdgeQuery(source, target) for source, target in keys])
     engine.close()
     _emit(
         {
@@ -241,10 +241,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
     ``--port 0``) as soon as the socket is listening, then a final JSON
     stats document after the drain.
     """
+    from repro.queries.parallel import PlanConfig
     from repro.serving import ServingConfig
     from repro.serving.server import run_server
 
     engine = _open_engine(args.snapshot)
+    if args.readers or args.kernel != "numpy":
+        engine.set_plan_config(PlanConfig(kernel=args.kernel, readers=args.readers))
     config = ServingConfig(
         max_batch=args.max_batch,
         max_delay_us=args.max_delay_us,
@@ -295,7 +298,7 @@ def cmd_bench(args: argparse.Namespace) -> int:
 
     queries = [q.key for q in uniform_edge_queries(stream, args.queries, seed=args.seed + 2)]
     start = time.perf_counter()
-    engine.estimate_edges(queries)
+    engine.query([EdgeQuery(source, target) for source, target in queries])
     query_seconds = time.perf_counter() - start
     engine.close()
 
@@ -326,6 +329,7 @@ def cmd_query_bench(args: argparse.Namespace) -> int:
     from repro.experiments.query_bench import (
         build_query_workload,
         measure_query_paths,
+        measure_reader_pool,
     )
 
     if args.baseline and (args.sharded is not None or args.windowed is not None):
@@ -355,19 +359,33 @@ def cmd_query_bench(args: argparse.Namespace) -> int:
             rounds=args.rounds,
             repeats=args.repeats,
         )
+        reader_rows = []
+        if args.readers:
+            reader_rows = measure_reader_pool(
+                engine.estimator,
+                engine.backend,
+                keys,
+                args.readers,
+                rounds=args.rounds,
+                repeats=args.repeats,
+            )
     finally:
         engine.close()
+    parity = all(row.parity_ok for row in rows) and all(
+        row.parity_ok for row in reader_rows
+    )
     _emit(
         {
             "benchmark": "query-throughput",
             "backend": engine.backend,
             "dataset": stream.name,
             "queries": len(keys),
-            "parity_ok": all(row.parity_ok for row in rows),
+            "parity_ok": parity,
             "results": [asdict(row) for row in rows],
+            "readers": [asdict(row) for row in reader_rows],
         }
     )
-    return 0 if all(row.parity_ok for row in rows) else 1
+    return 0 if parity else 1
 
 
 def cmd_stats(args: argparse.Namespace) -> int:
@@ -542,6 +560,20 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="accept live ingest frames while serving",
     )
+    serve.add_argument(
+        "--readers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="spawn N reader-pool worker processes mapping the plan arena "
+        "from shared memory (0 answers on the event loop)",
+    )
+    serve.add_argument(
+        "--kernel",
+        choices=("numpy", "numba"),
+        default="numpy",
+        help="compiled kernel tier for plan gathers (numba requires numba)",
+    )
     serve.set_defaults(func=cmd_serve)
 
     bench = commands.add_parser("bench", help="facade ingest/query throughput")
@@ -583,6 +615,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     query_bench.add_argument("--rounds", type=int, default=2)
     query_bench.add_argument("--repeats", type=int, default=2)
+    query_bench.add_argument(
+        "--readers",
+        type=int,
+        nargs="*",
+        default=[],
+        metavar="N",
+        help="also measure reader-pool sizes N... against the single-process "
+        "coalesced baseline (plan-serving backends with integer labels)",
+    )
     query_bench.set_defaults(func=cmd_query_bench)
 
     stats = commands.add_parser(

@@ -23,6 +23,8 @@ partitioned, sharded, windowed) stays a construction-time choice::
 
 from __future__ import annotations
 
+import warnings
+from collections.abc import Sequence as SequenceABC
 from pathlib import Path
 from typing import TYPE_CHECKING, Iterable, List, Optional, Sequence, Union
 
@@ -59,6 +61,8 @@ from repro.graph.stream import GraphStream
 from repro.observability import AccuracyTracker
 from repro.observability import metrics as _obs
 from repro.observability.metrics import MetricsRegistry, get_registry
+from repro.queries.kernels import get_kernel, scratch_capacity
+from repro.queries.parallel import PlanConfig
 from repro.queries.workload import QueryWorkload
 
 if TYPE_CHECKING:  # pragma: no cover - typing only (repro.serving imports us)
@@ -95,6 +99,7 @@ class SketchEngine:
                 # only save() requires a registered snapshot backend.
                 backend = type(estimator).__name__
         self._backend = backend
+        self._plan_config: Optional[PlanConfig] = None
 
     # ------------------------------------------------------------------ #
     # Construction
@@ -134,20 +139,53 @@ class SketchEngine:
     # ------------------------------------------------------------------ #
     # Query
     # ------------------------------------------------------------------ #
-    def query(self, query: Union[Query, EdgeKey]) -> Estimate:
-        """Answer one typed query with a typed, provenance-carrying result.
+    def query(
+        self, query: Union[Query, EdgeKey, Sequence[Union[Query, EdgeKey]]]
+    ) -> Union[Estimate, List[Estimate]]:
+        """The polymorphic query entry point: one query in, one result out.
 
-        Accepts :class:`EdgeQuery` (lifetime; an attached ``window`` lifts it
-        to a :class:`WindowQuery`), :class:`SubgraphQuery`,
-        :class:`WindowQuery` (windowed backend only), or a bare
-        ``(source, target)`` edge key as an :class:`EdgeQuery` shorthand.
+        Accepts any member of the query family — :class:`EdgeQuery`
+        (lifetime; an attached ``window`` lifts it to a
+        :class:`WindowQuery`), :class:`SubgraphQuery`, :class:`WindowQuery`
+        (windowed backend only), or a bare ``(source, target)`` edge key as
+        an :class:`EdgeQuery` shorthand — and returns one typed,
+        provenance-carrying :class:`~repro.api.results.Estimate`.
+
+        Also accepts a *sequence* of the above and returns a parallel
+        ``List[Estimate]``; plain edge queries inside the sequence share one
+        batched plan gather, so mixing families costs nothing over sorting
+        them yourself::
+
+            engine.query(EdgeQuery(3, 17)).value
+            engine.query([EdgeQuery(3, 17), SubgraphQuery.from_edges(...)])
+
+        This dispatcher is the only query surface the serving tier and the
+        CLI use; ``estimate_edges``/``query_many`` remain as deprecated
+        shims over it.
         """
+        if isinstance(query, (EdgeQuery, SubgraphQuery, WindowQuery)):
+            return self._dispatch_query(query)
+        if isinstance(query, tuple) and len(query) == 2 and not isinstance(
+            query[0], (EdgeQuery, SubgraphQuery, WindowQuery)
+        ):
+            # A bare edge key, not a 2-element batch of query objects.
+            return self._dispatch_query(query)
+        if isinstance(query, SequenceABC) and not isinstance(query, (str, bytes)):
+            return self._dispatch_batch(list(query))
+        raise EngineError(
+            f"unsupported query type {type(query).__name__}; expected EdgeQuery, "
+            "SubgraphQuery, WindowQuery, a (source, target) key, or a sequence "
+            "of those"
+        )
+
+    def _dispatch_query(self, query: Union[Query, EdgeKey]) -> Estimate:
+        """Answer one typed query with a typed, provenance-carrying result."""
         if isinstance(query, WindowQuery):
             return self._query_window(query)
         if isinstance(query, EdgeQuery):
             if query.window is not None:
                 return self._query_window(WindowQuery.from_edge_query(query))
-            return self.estimate_edges([query.key])[0]
+            return self._estimate_edge_keys([query.key])[0]
         if isinstance(query, SubgraphQuery):
             value = self._estimator.query_subgraph(query)
             return Estimate(
@@ -156,13 +194,13 @@ class SketchEngine:
                 provenance=Provenance(backend=self._backend),
             )
         if isinstance(query, tuple) and len(query) == 2:
-            return self.estimate_edges([query])[0]
+            return self._estimate_edge_keys([query])[0]
         raise EngineError(
             f"unsupported query type {type(query).__name__}; expected EdgeQuery, "
             "SubgraphQuery, WindowQuery or a (source, target) key"
         )
 
-    def query_many(self, queries: Sequence[Union[Query, EdgeKey]]) -> List[Estimate]:
+    def _dispatch_batch(self, queries: Sequence[Union[Query, EdgeKey]]) -> List[Estimate]:
         """Answer a block of queries; plain edge queries share one batched pass."""
         estimates: List[Optional[Estimate]] = [None] * len(queries)
         edge_positions: List[int] = []
@@ -175,14 +213,36 @@ class SketchEngine:
                 edge_positions.append(position)
                 edge_keys.append(query)
             else:
-                estimates[position] = self.query(query)
+                estimates[position] = self._dispatch_query(query)
         if edge_keys:
-            for position, estimate in zip(edge_positions, self.estimate_edges(edge_keys)):
+            for position, estimate in zip(
+                edge_positions, self._estimate_edge_keys(edge_keys)
+            ):
                 estimates[position] = estimate
-        assert all(e is not None for e in estimates), "query_many left a slot unanswered"
+        assert all(e is not None for e in estimates), "query batch left a slot unanswered"
         return estimates  # type: ignore[return-value]
 
+    def query_many(self, queries: Sequence[Union[Query, EdgeKey]]) -> List[Estimate]:
+        """Deprecated alias: pass the sequence straight to :meth:`query`."""
+        warnings.warn(
+            "SketchEngine.query_many is deprecated; pass the sequence to "
+            "engine.query([...]) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._dispatch_batch(list(queries))
+
     def estimate_edges(self, keys: Sequence[EdgeKey]) -> List[Estimate]:
+        """Deprecated alias: build :class:`EdgeQuery` objects for :meth:`query`."""
+        warnings.warn(
+            "SketchEngine.estimate_edges is deprecated; use "
+            "engine.query([EdgeQuery(source, target), ...]) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self._estimate_edge_keys(keys)
+
+    def _estimate_edge_keys(self, keys: Sequence[EdgeKey]) -> List[Estimate]:
         """Typed estimates for a block of edge keys (lifetime semantics).
 
         Partitioned backends answer values, intervals *and* provenance from a
@@ -246,11 +306,46 @@ class SketchEngine:
         the first request.  Returns ``self`` for chaining::
 
             engine.ingest(stream)
-            estimates = engine.frozen().query_many(queries)
+            estimates = engine.frozen().query(queries)
         """
         compile_plan = getattr(self._estimator, "compile_plan", None)
         if compile_plan is not None:
             compile_plan()
+        return self
+
+    @property
+    def plan_config(self) -> Optional[PlanConfig]:
+        """The typed read-plane configuration, if one was applied."""
+        return self._plan_config
+
+    def set_plan_config(self, config: PlanConfig) -> "SketchEngine":
+        """Apply a typed read-plane configuration (kernel tier + reader pool).
+
+        ``config.kernel`` selects the compiled kernel tier every plan
+        compile/refresh will use (``"numpy"`` scratch kernels by default,
+        ``"numba"`` when available); ``config.readers`` sizes the
+        :class:`~repro.queries.parallel.ReaderPool` the serving tier spawns.
+        Usually set at build time via ``EngineBuilder.plan(...)``; raises
+        :class:`EngineError` for backends without a compiled read plan (the
+        windowed backend) and
+        :class:`~repro.queries.kernels.KernelUnavailableError` when the
+        requested tier's dependency is missing.
+        """
+        set_kernel = getattr(self._estimator, "set_plan_kernel", None)
+        backend_config = getattr(self._estimator, "config", None)
+        depth = getattr(backend_config, "depth", None)
+        if set_kernel is None or depth is None:
+            raise EngineError(
+                f"the {self._backend!r} backend has no compiled read plan; "
+                "plan configuration applies to plan-serving backends only"
+            )
+        kernel = get_kernel(
+            config.kernel,
+            depth=int(depth),
+            capacity=scratch_capacity(config.scratch_mb, int(depth)),
+        )
+        set_kernel(kernel)
+        self._plan_config = config
         return self
 
     # ------------------------------------------------------------------ #
@@ -520,6 +615,7 @@ class EngineBuilder:
         self._window_length: Optional[float] = None
         self._window_sample_size = DEFAULT_SAMPLE_SIZE
         self._stream_size_hint: Optional[int] = None
+        self._plan_config: Optional[PlanConfig] = None
 
     # -- space budget -------------------------------------------------- #
     def config(self, config: Optional[GSketchConfig] = None, **kwargs) -> "EngineBuilder":
@@ -635,6 +731,37 @@ class EngineBuilder:
         self._window_sample_size = sample_size
         return self
 
+    def plan(self, config: Optional[PlanConfig] = None, **kwargs) -> "EngineBuilder":
+        """Configure the compiled read plane: kernel tier and reader pool.
+
+        Accepts a ready :class:`~repro.queries.parallel.PlanConfig` or its
+        keyword arguments (``kernel``, ``readers``, ``scratch_mb``,
+        ``cache_bits``, ``max_pending``, ``batch_capacity``)::
+
+            engine = (SketchEngine.builder()
+                      .config(total_cells=60_000, depth=4)
+                      .dataset(stream)
+                      .plan(PlanConfig(kernel="numpy", readers=4, scratch_mb=4.0))
+                      .build())
+
+        ``kernel`` selects the batched-hash/gather implementation every plan
+        compile uses (``"numpy"`` preallocated-scratch kernels, or
+        ``"numba"`` compiled loops when numba is installed — NumPy stays the
+        bit-exact parity oracle either way); ``readers`` > 0 makes
+        ``engine.serve()`` spawn that many reader-pool worker processes
+        mapping the plan arena from shared memory.  Not applicable to the
+        windowed backend (no compiled plan).
+        """
+        if config is not None and kwargs:
+            raise EngineError("pass either a PlanConfig or keyword arguments, not both")
+        if config is None:
+            try:
+                config = PlanConfig(**kwargs)
+            except (TypeError, ValueError) as exc:
+                raise EngineError(str(exc)) from exc
+        self._plan_config = config
+        return self
+
     # -- assembly ------------------------------------------------------ #
     def build(self) -> SketchEngine:
         """Validate the combination and construct the engine."""
@@ -659,13 +786,18 @@ class EngineBuilder:
                     "the windowed backend partitions each window from the previous "
                     "window's reservoir; a workload sample does not apply"
                 )
+            if self._plan_config is not None:
+                raise EngineError(
+                    "the windowed backend has no compiled read plan; .plan(...) "
+                    "does not apply"
+                )
             estimator: Estimator = WindowedGSketch(
                 config=self._config,
                 window_length=self._window_length,
                 sample_size=self._window_sample_size,
                 seed=self._config.seed,
             )
-            return SketchEngine(estimator, BACKEND_WINDOWED)
+            return self._finish(estimator, BACKEND_WINDOWED)
 
         sample, hint = self._resolve_sample()
         if sample is None:
@@ -679,7 +811,7 @@ class EngineBuilder:
                     "workload-aware partitioning needs a data sample: call "
                     ".sample(...) or .dataset(...)"
                 )
-            return SketchEngine(GlobalSketch(self._config), BACKEND_GLOBAL)
+            return self._finish(GlobalSketch(self._config), BACKEND_GLOBAL)
 
         if self._workload is not None:
             gsketch = GSketch.build_with_workload(
@@ -698,8 +830,8 @@ class EngineBuilder:
                     executor=executor,
                     recovery=self._recovery,
                 )
-                return SketchEngine(sharded, BACKEND_SHARDED)
-            return SketchEngine(gsketch, BACKEND_GSKETCH)
+                return self._finish(sharded, BACKEND_SHARDED)
+            return self._finish(gsketch, BACKEND_GSKETCH)
 
         if self._num_shards is not None:
             sharded = ShardedGSketch.build(
@@ -710,9 +842,16 @@ class EngineBuilder:
                 stream_size_hint=hint,
                 recovery=self._recovery,
             )
-            return SketchEngine(sharded, BACKEND_SHARDED)
+            return self._finish(sharded, BACKEND_SHARDED)
         gsketch = GSketch.build(sample, self._config, stream_size_hint=hint)
-        return SketchEngine(gsketch, BACKEND_GSKETCH)
+        return self._finish(gsketch, BACKEND_GSKETCH)
+
+    def _finish(self, estimator: Estimator, backend: str) -> SketchEngine:
+        """Wrap the built estimator, applying any read-plane configuration."""
+        engine = SketchEngine(estimator, backend)
+        if self._plan_config is not None:
+            engine.set_plan_config(self._plan_config)
+        return engine
 
     def _resolve_executor(self) -> Optional[ShardExecutor]:
         """Resolve the executor spec (name or instance) to a backend object."""

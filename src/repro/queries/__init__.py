@@ -1,5 +1,6 @@
-"""Query model, workload generation, accuracy metrics and the compiled
-read-optimized query plan."""
+"""Query model, workload generation, accuracy metrics, the compiled
+read-optimized query plan, and the parallel read plane (shared-memory
+reader pool + optional compiled kernel tiers)."""
 
 from repro.queries.aggregate import AGGREGATES, AggregateFunction, get_aggregate
 from repro.queries.edge_query import EdgeQuery
@@ -10,6 +11,12 @@ from repro.queries.evaluation import (
     evaluate_edge_queries,
     evaluate_subgraph_queries,
     relative_error,
+)
+from repro.queries.kernels import (
+    KERNEL_TIERS,
+    KernelUnavailableError,
+    NumpyScratchKernel,
+    get_kernel,
 )
 from repro.queries.plan import (
     CompiledQueryPlan,
@@ -33,8 +40,15 @@ __all__ = [
     "EdgeQuery",
     "EvaluationResult",
     "HotEdgeCache",
+    "KERNEL_TIERS",
+    "KernelUnavailableError",
+    "NumpyScratchKernel",
+    "PlanConfig",
     "PlanServingMixin",
     "QueryWorkload",
+    "ReaderPool",
+    "ReaderPoolError",
+    "ReaderWorkerError",
     "SubgraphQuery",
     "average_relative_error",
     "bfs_subgraph_queries",
@@ -43,8 +57,26 @@ __all__ = [
     "evaluate_edge_queries",
     "evaluate_subgraph_queries",
     "get_aggregate",
+    "get_kernel",
     "relative_error",
     "uniform_edge_queries",
     "zipf_edge_queries",
     "zipf_subgraph_queries",
 ]
+
+#: Reader-pool names re-exported lazily: ``repro.queries.parallel`` pulls in
+#: the distributed package, which circularly imports the core estimators
+#: while *they* are importing the plan mixin from this package.  PEP 562
+#: deferral keeps ``from repro.queries import ReaderPool`` working without
+#: eagerly completing that cycle at package-import time.
+_PARALLEL_EXPORTS = frozenset(
+    {"PlanConfig", "ReaderPool", "ReaderPoolError", "ReaderWorkerError"}
+)
+
+
+def __getattr__(name: str):
+    if name in _PARALLEL_EXPORTS:
+        from repro.queries import parallel
+
+        return getattr(parallel, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -24,12 +24,22 @@ Overload is **admission-controlled, not buffered**: when more than
 under any offered load.  Per-request deadlines are honoured at drain time:
 a request whose deadline passed while queued gets
 :class:`DeadlineExceededError` instead of a stale answer.
+
+The ``answer`` callable may also return an *awaitable* of the same
+``(values, generation)`` pair — the reader-pool path
+(:class:`~repro.queries.parallel.ReaderPool`) answers batches off the event
+loop, so the drain task dispatches the batch and keeps draining while the
+pool computes, demuxing each batch's slices when its awaitable resolves.
+``inflight_batches`` bounds how many dispatched-but-unanswered batches may
+overlap; per-request ordering is untouched because demux happens per batch
+against that batch's own counts.
 """
 
 from __future__ import annotations
 
 import asyncio
-from typing import Awaitable, Callable, List, Optional, Sequence, Tuple
+import inspect
+from typing import Awaitable, Callable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.graph.edge import EdgeKey
 from repro.observability import metrics as _obs
@@ -44,7 +54,10 @@ DEFAULT_MAX_PENDING = 4096
 
 #: The answer callable: one compiled-plan gather over the coalesced keys,
 #: returning the per-key estimates and the plan generation that served them.
-AnswerFn = Callable[[List[EdgeKey]], Tuple[Sequence[float], int]]
+#: May return the pair directly (answered on the loop) or an awaitable of it
+#: (answered off-loop, e.g. by a reader pool).
+AnswerResult = Tuple[Sequence[float], int]
+AnswerFn = Callable[[List[EdgeKey]], Union[AnswerResult, Awaitable[AnswerResult]]]
 
 _QUEUE_DEPTH = _obs.REGISTRY.gauge(
     "repro_serve_queue_depth", "Point-query keys waiting in the coalescing queue"
@@ -94,6 +107,10 @@ class CoalescingQueue:
             before answering a non-full batch; ``0`` answers immediately.
         max_pending: admission-control bound on waiting keys; submissions
             beyond it raise :class:`AdmissionError` instead of queueing.
+        inflight_batches: how many drained batches may be awaiting an
+            asynchronous ``answer`` at once (the reader-pool overlap depth);
+            synchronous answers are unaffected, the default keeps the old
+            one-batch-at-a-time behaviour.
     """
 
     def __init__(
@@ -103,6 +120,7 @@ class CoalescingQueue:
         max_batch: int = DEFAULT_MAX_BATCH,
         max_delay_us: int = DEFAULT_MAX_DELAY_US,
         max_pending: int = DEFAULT_MAX_PENDING,
+        inflight_batches: int = 1,
     ) -> None:
         if max_batch <= 0:
             raise ValueError(f"max_batch must be > 0, got {max_batch}")
@@ -110,14 +128,19 @@ class CoalescingQueue:
             raise ValueError(f"max_delay_us must be >= 0, got {max_delay_us}")
         if max_pending <= 0:
             raise ValueError(f"max_pending must be > 0, got {max_pending}")
+        if inflight_batches <= 0:
+            raise ValueError(f"inflight_batches must be > 0, got {inflight_batches}")
         self._answer = answer
         self.max_batch = max_batch
         self.max_delay_seconds = max_delay_us / 1_000_000.0
         self.max_pending = max_pending
+        self.inflight_batches = inflight_batches
         self._pending: List[_Pending] = []
         self._pending_keys = 0
         self._wake = asyncio.Event()
         self._task: Optional["asyncio.Task[None]"] = None
+        self._inflight: Optional[asyncio.Semaphore] = None
+        self._answer_tasks: "Set[asyncio.Task[None]]" = set()
         self._closing = False
         # Always-on plain-int stats (the registry mirrors live alongside,
         # gated on the observability enable flag).
@@ -134,6 +157,7 @@ class CoalescingQueue:
     def start(self) -> None:
         """Spawn the drain task on the running event loop."""
         if self._task is None:
+            self._inflight = asyncio.Semaphore(self.inflight_batches)
             self._task = asyncio.get_running_loop().create_task(self._drain_loop())
 
     async def stop(self) -> None:
@@ -141,13 +165,16 @@ class CoalescingQueue:
 
         New :meth:`submit` calls are rejected from the moment this is
         called; requests admitted before it still get real answers — the
-        graceful-shutdown contract.
+        graceful-shutdown contract (including batches still in flight on an
+        asynchronous answer path).
         """
         self._closing = True
         self._wake.set()
         if self._task is not None:
             await self._task
             self._task = None
+        if self._answer_tasks:
+            await asyncio.gather(*tuple(self._answer_tasks), return_exceptions=True)
 
     @property
     def depth(self) -> int:
@@ -222,7 +249,12 @@ class CoalescingQueue:
             ):
                 # Dally for concurrent requests; a full batch never waits.
                 await asyncio.sleep(self.max_delay_seconds)
-            self._drain_one(loop.time())
+            # The permit bounds dispatched-but-unanswered async batches; a
+            # synchronous answer returns it before the next loop iteration.
+            assert self._inflight is not None
+            await self._inflight.acquire()
+            if not self._drain_one(loop.time()):
+                self._inflight.release()
 
     def _take_batch(self, now: float) -> List[_Pending]:
         """Dequeue FIFO entries up to ``max_batch`` keys, dropping expired ones.
@@ -251,12 +283,13 @@ class CoalescingQueue:
             taken += len(entry.keys)
         return batch
 
-    def _drain_one(self, now: float) -> None:
+    def _drain_one(self, now: float) -> bool:
+        """Answer one batch; ``True`` means an async answer kept the permit."""
         batch = self._take_batch(now)
         if _obs._ENABLED:
             _QUEUE_DEPTH.set(float(self._pending_keys))
         if not batch:
-            return
+            return False
         keys: List[EdgeKey] = []
         counts: List[int] = []
         for entry in batch:
@@ -267,12 +300,51 @@ class CoalescingQueue:
         if _obs._ENABLED:
             _BATCH_SIZE._observe(float(len(keys)))
         try:
-            values, generation = self._answer(keys)
+            result = self._answer(keys)
         except Exception as exc:  # noqa: BLE001 - fanned out per request
-            for entry in batch:
-                if not entry.future.done():
-                    entry.future.set_exception(exc)
+            self._fan_out_error(batch, exc)
+            return False
+        if inspect.isawaitable(result):
+            task = asyncio.get_running_loop().create_task(
+                self._finish_async(batch, counts, result)
+            )
+            self._answer_tasks.add(task)
+            task.add_done_callback(self._answer_tasks.discard)
+            return True
+        values, generation = result
+        self._demux(batch, counts, values, generation)
+        return False
+
+    async def _finish_async(
+        self,
+        batch: List[_Pending],
+        counts: List[int],
+        awaitable: Awaitable[AnswerResult],
+    ) -> None:
+        """Resolve one dispatched batch when its off-loop answer lands."""
+        try:
+            values, generation = await awaitable
+        except Exception as exc:  # noqa: BLE001 - fanned out per request
+            self._fan_out_error(batch, exc)
             return
+        finally:
+            if self._inflight is not None:
+                self._inflight.release()
+        self._demux(batch, counts, values, generation)
+
+    @staticmethod
+    def _fan_out_error(batch: List[_Pending], exc: BaseException) -> None:
+        for entry in batch:
+            if not entry.future.done():
+                entry.future.set_exception(exc)
+
+    @staticmethod
+    def _demux(
+        batch: List[_Pending],
+        counts: List[int],
+        values: Sequence[float],
+        generation: int,
+    ) -> None:
         for entry, slice_values in zip(batch, demux_by_counts(values, counts)):
             if not entry.future.done():
                 entry.future.set_result((slice_values, generation))

@@ -7,6 +7,13 @@ Carter–Wegman family ``h(x) = ((a * x + b) mod p) mod width`` over the
 Mersenne prime ``p = 2^61 - 1``.  Each row of a sketch draws an independent
 ``(a, b)`` pair, which yields the pairwise independence required by the
 Count-Min analysis (paper Section 3.2) and by Theorem 1's collision bound.
+
+The vectorized expressions here (:func:`mulmod_mersenne61_batch`,
+:func:`gathered_hash_columns`) are the **bit-exactness oracle** for the
+compiled kernel tiers in :mod:`repro.queries.kernels`: any re-staging of the
+hash (preallocated scratch, fused JIT loops) must reproduce these outputs
+bit-for-bit, pinned by ``tests/test_kernels.py`` on the Mersenne-boundary
+keys ``p-1, p, p+1`` and both 32-bit limb edges.
 """
 
 from __future__ import annotations

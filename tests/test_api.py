@@ -190,7 +190,7 @@ def test_estimates_carry_partition_provenance(zipf_stream, zipf_sample, small_co
 
     # Mixed-type key blocks must not coerce labels: the int-labelled edge
     # keeps its real partition even when routed alongside a string label.
-    mixed = engine.estimate_edges([known, unknown])
+    mixed = engine.query([known, unknown])
     assert mixed[0].provenance.partition == estimate.provenance.partition
     assert mixed[0].provenance.outlier is False
     assert mixed[1].provenance.outlier is True
@@ -233,7 +233,7 @@ def test_window_query_rejected_on_non_windowed_backend(zipf_stream, zipf_sample,
         engine.query(WindowQuery("a", "b", 0.0, 1.0))
 
 
-def test_query_many_mixed_shapes(zipf_stream, zipf_sample, small_config):
+def test_query_batch_mixed_shapes(zipf_stream, zipf_sample, small_config):
     engine = BACKEND_BUILDERS["gsketch"](zipf_stream, zipf_sample, small_config)
     engine.ingest(zipf_stream)
     keys = sorted(zipf_stream.distinct_edges())[:4]
@@ -243,7 +243,7 @@ def test_query_many_mixed_shapes(zipf_stream, zipf_sample, small_config):
         SubgraphQuery.from_edges(keys),
         EdgeQuery(*keys[2]),
     ]
-    estimates = engine.query_many(queries)
+    estimates = engine.query(queries)
     assert len(estimates) == len(queries)
     assert estimates[0].value == engine.estimator.query_edge(keys[0])
     assert estimates[2].value == pytest.approx(
@@ -252,6 +252,26 @@ def test_query_many_mixed_shapes(zipf_stream, zipf_sample, small_config):
     # batched edge answers agree with the one-at-a-time path
     assert [estimates[0].value, estimates[1].value, estimates[3].value] == [
         engine.query(EdgeQuery(*key)).value for key in (keys[0], keys[1], keys[2])
+    ]
+
+
+def test_deprecated_shims_warn_and_stay_bit_exact(
+    zipf_stream, zipf_sample, small_config
+):
+    engine = BACKEND_BUILDERS["gsketch"](zipf_stream, zipf_sample, small_config)
+    engine.ingest(zipf_stream)
+    keys = sorted(zipf_stream.distinct_edges())[:6]
+    expected = engine.query(keys)
+
+    with pytest.warns(DeprecationWarning, match="estimate_edges is deprecated"):
+        via_estimate = engine.estimate_edges(keys)
+    with pytest.warns(DeprecationWarning, match="query_many is deprecated"):
+        via_many = engine.query_many(keys)
+
+    assert [e.value for e in via_estimate] == [e.value for e in expected]
+    assert [e.value for e in via_many] == [e.value for e in expected]
+    assert [e.provenance.partition for e in via_estimate] == [
+        e.provenance.partition for e in expected
     ]
 
 

@@ -274,7 +274,7 @@ class TestRetryExhaustion:
             try:
                 engine.ingest(fault_stream, batch_size=256)
                 keys = sorted(_exact_truth(fault_stream))[:200]
-                estimates = engine.estimate_edges(keys)
+                estimates = engine.query(keys)
                 degraded = [e for e in estimates if e.provenance.degraded]
                 healthy = [e for e in estimates if not e.provenance.degraded]
                 assert degraded and healthy
@@ -410,8 +410,8 @@ class TestDurability:
         revived = SketchEngine.restore(tmp_path / "ckpt")
         assert revived.backend == "sharded"
         keys = sorted(_exact_truth(fault_stream))[:100]
-        assert [e.value for e in revived.estimate_edges(keys)] == [
-            e.value for e in engine.estimate_edges(keys)
+        assert [e.value for e in revived.query(keys)] == [
+            e.value for e in engine.query(keys)
         ]
 
     def test_missing_manifest_and_section_are_named(self, ingested, tmp_path):

@@ -1,0 +1,273 @@
+"""Reader-pool lifecycle and demux-ordering contracts.
+
+The parallel read plane (:mod:`repro.queries.parallel`) maps a frozen
+compiled-plan arena into N worker processes.  These tests pin its contracts:
+
+* every public query path answers **bit-identically** to the in-process
+  estimator, including when a batch is split into contiguous chunks across
+  several workers and reassembled in submission order;
+* the cache-merged serving path (:meth:`ReaderPool.query_edges_cached` over
+  :meth:`~repro.queries.plan.HotEdgeCache.lookup_partial`) keeps exact batch
+  ordering when cached hits interleave with misses gathered by ≥ 2 different
+  workers — the cross-worker ordering regression;
+* a dead worker surfaces as a typed :class:`ReaderWorkerError` naming the
+  worker, after which the pool keeps serving degraded on the survivors, and
+  the last death yields :class:`ReaderPoolError`;
+* generation hot-swap mid-stream: answers always reflect exactly one plan
+  generation, swaps are no-ops when nothing changed, and teardown releases
+  every shared-memory block (no ``/dev/shm`` leaks), idempotently.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.config import GSketchConfig
+from repro.core.gsketch import GSketch
+from repro.datasets.zipf import zipf_stream
+from repro.graph.sampling import reservoir_sample
+from repro.queries.parallel import (
+    PlanConfig,
+    ReaderPool,
+    ReaderPoolError,
+    ReaderWorkerError,
+)
+from repro.queries.plan import HotEdgeCache
+
+
+def _shm_entries() -> set:
+    try:
+        return set(os.listdir("/dev/shm"))
+    except FileNotFoundError:  # pragma: no cover - non-Linux hosts
+        return set()
+
+
+def _build_estimator(num_edges: int = 6_000, seed: int = 7) -> GSketch:
+    config = GSketchConfig(total_cells=4_000, depth=4, seed=seed)
+    stream = zipf_stream(num_edges, population=256, seed=seed)
+    sample = reservoir_sample(stream, 500, seed=seed)
+    estimator = GSketch.build(sample, config, stream_size_hint=num_edges)
+    estimator.process(stream)
+    return estimator
+
+
+@pytest.fixture(scope="module")
+def estimator():
+    return _build_estimator()
+
+
+@pytest.fixture(scope="module")
+def workload():
+    """400 keys: seen edges plus never-seen sources (outlier-slot routing)."""
+    stream = zipf_stream(6_000, population=256, seed=7)
+    keys = sorted(stream.distinct_edges())[:380]
+    keys += [(10**9 + index, 3) for index in range(20)]
+    return keys
+
+
+class TestQueryParity:
+    def test_query_edges_split_across_workers(self, estimator, workload):
+        oracle = np.asarray(estimator.query_edges(list(workload)))
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            got = pool.query_edges(list(workload))  # 400 keys → split in two
+        np.testing.assert_array_equal(got, oracle)
+
+    def test_query_edges_unsplit(self, estimator, workload):
+        oracle = np.asarray(estimator.query_edges(list(workload)))
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            got = pool.query_edges(list(workload), split=False)
+        np.testing.assert_array_equal(got, oracle)
+
+    def test_map_batches_submission_order(self, estimator, workload):
+        sources = np.array([k[0] for k in workload], dtype=np.int64)
+        targets = np.array([k[1] for k in workload], dtype=np.int64)
+        batches = [
+            (sources[start : start + 50], targets[start : start + 50])
+            for start in range(0, len(workload), 50)
+        ]
+        oracle = [
+            np.asarray(estimator.query_edges(list(workload[start : start + 50])))
+            for start in range(0, len(workload), 50)
+        ]
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            answered = pool.map_batches(batches)
+        assert len(answered) == len(oracle)
+        for expected, got in zip(oracle, answered):
+            np.testing.assert_array_equal(got, expected)
+
+    def test_empty_batch(self, estimator):
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=1)) as pool:
+            assert pool.query_edges([]).shape == (0,)
+
+    def test_oversized_batch_is_typed_error(self, estimator):
+        config = PlanConfig(readers=1, batch_capacity=1024)
+        oversized = [(index, index + 1) for index in range(1_500)]
+        with ReaderPool.from_estimator(estimator, config) as pool:
+            with pytest.raises(ReaderPoolError, match="staging capacity"):
+                pool.query_edges(oversized, split=False)
+
+
+class TestCrossWorkerCacheOrdering:
+    """The satellite regression: cached hits + multi-worker misses, in order."""
+
+    def test_mixed_cached_and_gathered_keys_keep_order(self, estimator, workload):
+        oracle = np.asarray(estimator.query_edges(list(workload)))
+        cache = HotEdgeCache(capacity=4_096)
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            generation = pool.generation
+            # Prime the memo with every *third* key, so the next coalesced
+            # batch interleaves cached hits with >= 256 misses — enough for
+            # query_columns to split the compacted misses across both
+            # workers, exercising the scatter-by-miss-index reassembly.
+            primed = list(workload[::3])
+            warm = pool.query_edges_cached(primed, cache, generation)
+            np.testing.assert_array_equal(warm, oracle[::3])
+            assert len(cache) == len(set(primed))
+
+            got = pool.query_edges_cached(list(workload), cache, generation)
+            np.testing.assert_array_equal(got, oracle)
+
+            # Now everything is memoized: the all-hit path must stay exact.
+            again = pool.query_edges_cached(list(workload), cache, generation)
+            np.testing.assert_array_equal(again, oracle)
+
+    def test_cold_cache_stores_batch(self, estimator, workload):
+        cache = HotEdgeCache(capacity=4_096)
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            got = pool.query_edges_cached(list(workload), cache, pool.generation)
+        oracle = np.asarray(estimator.query_edges(list(workload)))
+        np.testing.assert_array_equal(got, oracle)
+        assert len(cache) == len(set(map(tuple, workload)))
+
+    def test_generation_bump_invalidates_memo(self, estimator, workload):
+        cache = HotEdgeCache(capacity=4_096)
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=1)) as pool:
+            generation = pool.generation
+            pool.query_edges_cached(list(workload), cache, generation)
+            assert len(cache) > 0
+            # A later generation must not serve stale entries.
+            got = pool.query_edges_cached(list(workload), cache, generation + 1)
+        oracle = np.asarray(estimator.query_edges(list(workload)))
+        np.testing.assert_array_equal(got, oracle)
+
+
+class TestWorkerDeath:
+    def test_death_is_typed_and_pool_degrades(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=11)
+        oracle = np.asarray(estimator.query_edges(list(workload[:40])))
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=2))
+        try:
+            victim = pool._readers[0].process
+            victim.kill()
+            victim.join(timeout=10)
+            # Round-robin starts at worker 0: the dead pipe surfaces as a
+            # typed error naming the worker, not a hang or a bare OSError.
+            with pytest.raises(ReaderWorkerError) as info:
+                pool.query_edges(list(workload[:40]), split=False)
+            assert info.value.worker_index == 0
+
+            # Degraded serving: the survivor answers, bit-exact.
+            got = pool.query_edges(list(workload[:40]))
+            np.testing.assert_array_equal(got, oracle)
+
+            # Last survivor dies -> typed error, then pool-empty error.
+            pool._readers[1].process.kill()
+            pool._readers[1].process.join(timeout=10)
+            with pytest.raises(ReaderWorkerError):
+                pool.query_edges(list(workload[:40]))
+            with pytest.raises(ReaderPoolError, match="no reader workers"):
+                pool.query_edges(list(workload[:40]))
+        finally:
+            pool.close()
+
+    def test_close_after_death_releases_everything(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=13)
+        before = _shm_entries()
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=2))
+        pool._readers[1].process.kill()
+        pool._readers[1].process.join(timeout=10)
+        pool.query_edges(list(workload[:10]), split=False)  # worker 0 still fine
+        pool.close()
+        assert _shm_entries() <= before
+
+
+class TestHotSwap:
+    def test_swap_mid_stream_tracks_generation(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=17)
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=2))
+        try:
+            first_gen = pool.generation
+            before = np.asarray(estimator.query_edges(list(workload[:60])))
+            np.testing.assert_array_equal(
+                pool.query_edges(list(workload[:60])), before
+            )
+
+            # Ingest more stream (bumps the estimator generation), swap, and
+            # check the pool serves the *new* counts.
+            extra = zipf_stream(2_000, population=256, seed=23)
+            estimator.process(extra)
+            assert estimator.ingest_generation != first_gen
+            assert pool.swap_from(estimator) is True
+            assert pool.generation == estimator.ingest_generation
+
+            after = np.asarray(estimator.query_edges(list(workload[:60])))
+            np.testing.assert_array_equal(
+                pool.query_edges(list(workload[:60])), after
+            )
+            # The workload gained mass, so at least one estimate moved.
+            assert (after >= before).all() and (after > before).any()
+        finally:
+            pool.close()
+
+    def test_swap_same_generation_is_noop(self, estimator):
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=1)) as pool:
+            generation = pool.generation
+            assert pool.swap_from(estimator) is False
+            pool.swap(estimator.compile_plan())  # same generation: no-op
+            assert pool.generation == generation
+
+    def test_swap_releases_old_arena(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=19)
+        before = _shm_entries()
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=1))
+        try:
+            estimator.process(zipf_stream(1_000, population=256, seed=29))
+            pool.swap_from(estimator)
+            pool.query_edges(list(workload[:20]), split=False)
+        finally:
+            pool.close()
+        assert _shm_entries() <= before
+
+
+class TestLifecycle:
+    def test_close_is_idempotent_and_typed_after(self, estimator, workload):
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=1))
+        assert not pool.closed
+        pool.close()
+        pool.close()  # idempotent
+        assert pool.closed
+        with pytest.raises(ReaderPoolError, match="closed"):
+            pool.query_edges(list(workload[:5]))
+        with pytest.raises(ReaderPoolError, match="closed"):
+            _ = pool.generation
+
+    def test_no_shm_leaks_across_lifecycle(self, estimator, workload):
+        before = _shm_entries()
+        with ReaderPool.from_estimator(estimator, PlanConfig(readers=2)) as pool:
+            pool.query_edges(list(workload))
+        assert _shm_entries() <= before
+
+    def test_config_validation(self, estimator):
+        with pytest.raises(ReaderPoolError, match="readers >= 1"):
+            ReaderPool.from_estimator(estimator, PlanConfig(readers=0))
+        with pytest.raises(ValueError):
+            PlanConfig(readers=-1)
+        with pytest.raises(ValueError):
+            PlanConfig(kernel="cython")
+        with pytest.raises(ValueError):
+            PlanConfig(scratch_mb=0)
+        with pytest.raises(ValueError):
+            PlanConfig(batch_capacity=64)

@@ -387,7 +387,7 @@ def test_engine_frozen_precompiles_and_chains(zipf_stream, zipf_sample, small_co
     estimator = engine.estimator
     assert estimator.compile_plan().generation == estimator.ingest_generation
     keys = _query_set(zipf_stream, count=50)
-    estimates = engine.estimate_edges(keys)
+    estimates = engine.query(keys)
     direct_intervals, direct_partitions = estimator.confidence_batch_direct(keys)
     for estimate, interval, partition in zip(
         estimates, direct_intervals, direct_partitions

@@ -298,7 +298,7 @@ class TestServerRoundTrip:
         assert peak.value == max(direct)
 
     def test_confidence_lane_matches_facade_estimates(self, served, engine, query_keys):
-        expected = [estimate.to_dict() for estimate in engine.estimate_edges(query_keys[:5])]
+        expected = [estimate.to_dict() for estimate in engine.query(query_keys[:5])]
         with SyncServingClient(*served.address) as client:
             over_wire = client.query_edges_confidence(query_keys[:5])
         assert over_wire == expected
