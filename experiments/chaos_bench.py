@@ -1,0 +1,21 @@
+#!/usr/bin/env python
+"""Serve-plane chaos drill entry point.
+
+Thin wrapper so the benchmark runs from a checkout without installation::
+
+    python experiments/chaos_bench.py [--quick] [--seed N] [--output PATH]
+
+The logic lives in :mod:`repro.experiments.chaos_bench`.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).resolve().parents[1] / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.experiments.chaos_bench import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -324,6 +324,76 @@ def check_serve(report: dict, rules: dict, tolerance: float) -> List[CheckResult
     return checks
 
 
+def check_chaos(report: dict, rules: dict, tolerance: float) -> List[CheckResult]:
+    """Evaluate the serve-plane chaos drill: correctness under faults.
+
+    The boolean clauses carry no tolerance: every answer bit-exact or a
+    typed error (``zero_incorrect``), every request resolved (no hangs),
+    the reader pool back to full width after the schedule (``self_healed``
+    with a clean final sweep), and the drill actually injected faults
+    (``faults_exercised`` — a quiet run can't pass as a green one).  The
+    p99 ceiling bounds the latency cost of riding through the faults.
+    """
+    checks: List[CheckResult] = []
+    load = report.get("load", {})
+    heal = report.get("heal", {})
+    chaos = report.get("chaos", {})
+    checks.append(
+        CheckResult(
+            name="chaos: zero incorrect answers (bit-exact or typed error)",
+            measured=(
+                f"incorrect={load.get('incorrect')} "
+                f"other_errors={load.get('other_errors')} "
+                f"of {load.get('requests')} requests"
+            ),
+            required="0 incorrect, 0 untyped",
+            ok=bool(report.get("zero_incorrect", False)),
+        )
+    )
+    checks.append(
+        bool_row(
+            "chaos: every request resolved (answer or typed error, no hangs)",
+            bool(report.get("all_resolved", False)),
+        )
+    )
+    checks.append(
+        CheckResult(
+            name="chaos: pool self-healed to full width, final sweep bit-exact",
+            measured=(
+                f"alive={heal.get('alive')}/{heal.get('width')} "
+                f"restarts={chaos.get('restarts')} "
+                f"final_mismatches={heal.get('final_mismatches')}"
+            ),
+            required="full width, 0 mismatches",
+            ok=bool(heal.get("self_healed", False))
+            and heal.get("final_mismatches") == 0,
+        )
+    )
+    checks.append(
+        CheckResult(
+            name="chaos: faults actually exercised (kills, restarts, injections)",
+            measured=(
+                f"kills={chaos.get('kills')} restarts={chaos.get('restarts')} "
+                f"injected={sum((chaos.get('faults_injected') or {}).values())}"
+            ),
+            required="all > 0",
+            ok=bool(report.get("faults_exercised", False)),
+        )
+    )
+    max_p99 = rules.get("max_p99_ms")
+    if max_p99 is not None:
+        checks.append(
+            ceiling_row(
+                "chaos: p99 latency under faults",
+                float(load.get("p99_ms", float("inf"))),
+                float(max_p99),
+                tolerance,
+                unit="ms",
+            )
+        )
+    return checks
+
+
 def check_overhead(report: dict) -> List[CheckResult]:
     """Advisory telemetry-overhead rows — always reported, never failing.
 
@@ -436,6 +506,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         help="serving-tier report to check (default BENCH_serve_ci.json)",
     )
     parser.add_argument(
+        "--chaos",
+        default="BENCH_chaos_ci.json",
+        help="serve-plane chaos-drill report to check; skipped silently "
+        "when the file is absent (default BENCH_chaos_ci.json)",
+    )
+    parser.add_argument(
         "--overhead",
         default="BENCH_overhead_ci.json",
         help="telemetry-overhead report for advisory rows; skipped silently "
@@ -485,6 +561,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if "serve" in profile:
         report = _load_json(args.serve, "serve")
         checks.extend(check_serve(report, profile["serve"], tolerance))
+    if "chaos" in profile and args.chaos and os.path.exists(args.chaos):
+        report = _load_json(args.chaos, "chaos")
+        checks.extend(check_chaos(report, profile["chaos"], tolerance))
     if args.overhead and os.path.exists(args.overhead):
         checks.extend(check_overhead(_load_json(args.overhead, "overhead")))
     if args.recovery and os.path.exists(args.recovery):

@@ -234,17 +234,48 @@ def _query_over_wire(args: argparse.Namespace, keys: List[tuple]) -> int:
     return 0
 
 
+def _probe_health(address: str) -> int:
+    """``serve --health``: readiness probe against a running server.
+
+    Prints the server's health document and exits 0 only when the state is
+    ``serving`` — ``starting``, ``draining``, and unreachable all probe
+    unhealthy, so the exit code slots straight into init-system and CI
+    readiness checks.  A degraded-but-serving server probes healthy (it
+    still answers); ``degraded`` in the document is the operator signal.
+    """
+    from repro.serving import ServingError, SyncServingClient
+    from repro.serving.wire import STATE_SERVING, parse_address
+
+    host, port = parse_address(address)
+    try:
+        with SyncServingClient(host, port, timeout=5.0) as client:
+            document = client.health()
+    except (ServingError, ConnectionError, OSError) as error:
+        _emit({"healthy": False, "probe": address, "error": str(error)})
+        return 1
+    document.pop("id", None)
+    document.pop("status", None)
+    healthy = document.get("state") == STATE_SERVING
+    _emit({"healthy": healthy, "probe": address, **document})
+    return 0 if healthy else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Serve a snapshot over TCP until interrupted (SIGINT drains gracefully).
 
     Prints one JSON ready-line (with the bound port — useful with
     ``--port 0``) as soon as the socket is listening, then a final JSON
-    stats document after the drain.
+    stats document after the drain.  With ``--health HOST:PORT`` it instead
+    probes a running server's readiness and exits.
     """
     from repro.queries.parallel import PlanConfig
     from repro.serving import ServingConfig
     from repro.serving.server import run_server
 
+    if args.health is not None:
+        return _probe_health(args.health)
+    if args.snapshot is None:
+        raise EngineError("serve requires --snapshot (or --health to probe)")
     engine = _open_engine(args.snapshot)
     if args.readers or args.kernel != "numpy":
         engine.set_plan_config(PlanConfig(kernel=args.kernel, readers=args.readers))
@@ -542,7 +573,14 @@ def build_parser() -> argparse.ArgumentParser:
         "serve", help="serve a snapshot over TCP with cross-client query coalescing"
     )
     serve.add_argument(
-        "--snapshot", required=True, help="snapshot file or checkpoint directory"
+        "--snapshot", default=None, help="snapshot file or checkpoint directory"
+    )
+    serve.add_argument(
+        "--health",
+        default=None,
+        metavar="HOST:PORT",
+        help="probe a running server's readiness instead of serving "
+        "(exit 0 only when its state is 'serving')",
     )
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument(

@@ -24,6 +24,23 @@ Injection sites
   mid-write (simulating a crash between write and fsync).
 * ``corrupt_snapshot`` — one byte of a written snapshot / checkpoint
   section is flipped (simulating silent media corruption).
+* ``reader_crash_batch`` — a reader-pool worker dies (``os._exit``)
+  after staging a batch but before acknowledging it.
+* ``reader_stall_ring`` — a reader-pool worker answers ``delay_seconds``
+  late (a wedged staging ring / GC pause / CPU-starved worker).
+* ``reader_crash_remap`` — a reader-pool worker dies mid-generation-swap,
+  after receiving the remap message but before acknowledging the new
+  arena (exercises exception-safe swap and old-arena reclamation).
+* ``serving_torn_frame`` — the server closes a connection after writing
+  only half of a response frame (a torn wire write).
+* ``serving_stall_connection`` — the server delays one response by
+  ``delay_seconds`` (a stalled / slow-loris-adjacent connection).
+* ``serving_drop_drain`` — the server drops a connection during drain,
+  after the request was admitted to the coalescer but before its answer
+  is demuxed (exercises cancel-on-disconnect in the coalescing queue).
+* ``serving_ingest_crash`` — the server drops the connection after an
+  ingest mutated the engine but before the acknowledgement frame is
+  written (the non-idempotent retry window: clients must *not* retry).
 
 Zero-cost-when-disabled contract
 --------------------------------
@@ -60,6 +77,13 @@ SITE_DROP_ACK = "drop_ack"
 SITE_SLOW_ACK = "slow_ack"
 SITE_TORN_CHECKPOINT = "torn_checkpoint"
 SITE_CORRUPT_SNAPSHOT = "corrupt_snapshot"
+SITE_READER_CRASH_BATCH = "reader_crash_batch"
+SITE_READER_STALL_RING = "reader_stall_ring"
+SITE_READER_CRASH_REMAP = "reader_crash_remap"
+SITE_SERVING_TORN_FRAME = "serving_torn_frame"
+SITE_SERVING_STALL_CONNECTION = "serving_stall_connection"
+SITE_SERVING_DROP_DRAIN = "serving_drop_drain"
+SITE_SERVING_INGEST_CRASH = "serving_ingest_crash"
 
 #: Sites that fire inside shard worker processes (or in-process apply paths).
 WORKER_SITES = (
@@ -72,7 +96,23 @@ WORKER_SITES = (
 #: Sites that fire in the durability plane (snapshot / checkpoint writes).
 DURABILITY_SITES = (SITE_TORN_CHECKPOINT, SITE_CORRUPT_SNAPSHOT)
 
-ALL_SITES = WORKER_SITES + DURABILITY_SITES
+#: Sites that fire inside reader-pool worker processes (``shard`` carries
+#: the worker index).
+READER_SITES = (
+    SITE_READER_CRASH_BATCH,
+    SITE_READER_STALL_RING,
+    SITE_READER_CRASH_REMAP,
+)
+
+#: Sites that fire in the TCP serving tier (server process / event loop).
+SERVING_SITES = (
+    SITE_SERVING_TORN_FRAME,
+    SITE_SERVING_STALL_CONNECTION,
+    SITE_SERVING_DROP_DRAIN,
+    SITE_SERVING_INGEST_CRASH,
+)
+
+ALL_SITES = WORKER_SITES + DURABILITY_SITES + READER_SITES + SERVING_SITES
 
 #: Exit code used by injected worker crashes (visible in the
 #: ``ShardExecutionError`` message as the worker's exit code).
@@ -244,6 +284,35 @@ def maybe_slow_ack(shard: Optional[int] = None) -> None:
     spec = fire(SITE_SLOW_ACK, shard)
     if spec is not None:
         time.sleep(spec.delay_seconds)
+
+
+def maybe_stall(site: str, shard: Optional[int] = None) -> float:
+    """Sleep ``delay_seconds`` if a stall spec for ``site`` fires here.
+
+    Returns the injected delay (0.0 when nothing fired) so async call
+    sites can ``await asyncio.sleep(...)`` instead of blocking the loop.
+    """
+    spec = fire(site, shard)
+    if spec is None:
+        return 0.0
+    if site not in SERVING_SITES:
+        time.sleep(spec.delay_seconds)
+    return spec.delay_seconds
+
+
+def tear_frame(data: bytes) -> Tuple[bytes, bool]:
+    """Apply a serving torn-frame fault to an encoded wire frame.
+
+    Returns ``(possibly-truncated bytes, fired)``.  A torn frame keeps the
+    length prefix plus roughly half the payload, so the reader on the other
+    end sees a short read mid-payload — exactly what a server crash between
+    two ``send(2)`` calls produces.
+    """
+    if _PLAN is None or len(data) < 6:
+        return data, False
+    if fire(SITE_SERVING_TORN_FRAME) is not None:
+        return data[: 4 + max(1, (len(data) - 4) // 2)], True
+    return data, False
 
 
 def mangle_payload(data: bytes) -> Tuple[bytes, Optional[str]]:

@@ -48,6 +48,7 @@ __all__ = [
     "QueryWorkload",
     "ReaderPool",
     "ReaderPoolError",
+    "ReaderSupervisor",
     "ReaderWorkerError",
     "SubgraphQuery",
     "average_relative_error",
@@ -70,7 +71,13 @@ __all__ = [
 #: deferral keeps ``from repro.queries import ReaderPool`` working without
 #: eagerly completing that cycle at package-import time.
 _PARALLEL_EXPORTS = frozenset(
-    {"PlanConfig", "ReaderPool", "ReaderPoolError", "ReaderWorkerError"}
+    {
+        "PlanConfig",
+        "ReaderPool",
+        "ReaderPoolError",
+        "ReaderSupervisor",
+        "ReaderWorkerError",
+    }
 )
 
 

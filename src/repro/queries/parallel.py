@@ -37,20 +37,41 @@ environment variables: :class:`PlanConfig` rides
 from __future__ import annotations
 
 import multiprocessing as mp
+import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import shared_memory
 from multiprocessing.connection import Connection
-from typing import Deque, Dict, List, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Deque,
+    Dict,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    TypeVar,
+)
 
 import numpy as np
 
+from repro import faults as _faults
 from repro.distributed.shared_memory import release_shm
 from repro.graph.edge import EdgeKey
+from repro.observability import metrics as _obs
+from repro.observability.instruments import (
+    READER_DEAD,
+    READER_RESTART_EVENTS,
+    READER_RESTART_SECONDS,
+)
 from repro.queries.kernels import KERNEL_TIERS, get_kernel, scratch_capacity
 from repro.queries.plan import CompiledQueryPlan, HotEdgeCache
 from repro.sketches.hashing import pair_keys_to_uint64
+
+_T = TypeVar("_T")
 
 _U64 = np.uint64
 _GOLDEN_GAMMA = _U64(0x9E3779B97F4A7C15)
@@ -122,6 +143,15 @@ class PlanConfig:
             slots); ``0`` disables the memo.
         max_pending: staging segments (in-flight batches) per worker.
         batch_capacity: staging-ring capacity per segment, in keys.
+        supervised: whether the serving tier wraps the pool in a
+            :class:`ReaderSupervisor` that respawns dead workers (the pool
+            itself never respawns; unsupervised pools degrade permanently).
+        max_restarts: respawns per worker slot before the supervisor gives
+            up on it (the pool keeps serving on the survivors).
+        restart_backoff_seconds: delay before the second respawn of the
+            same worker slot (the first respawn is immediate); grows by
+            ``restart_backoff_multiplier`` per further respawn.
+        restart_backoff_multiplier: exponential backoff factor.
     """
 
     kernel: str = "numpy"
@@ -130,6 +160,10 @@ class PlanConfig:
     cache_bits: int = 16
     max_pending: int = 2
     batch_capacity: int = 8192
+    supervised: bool = True
+    max_restarts: int = 5
+    restart_backoff_seconds: float = 0.05
+    restart_backoff_multiplier: float = 2.0
 
     def __post_init__(self) -> None:
         if self.kernel not in KERNEL_TIERS:
@@ -148,6 +182,18 @@ class PlanConfig:
             raise ValueError(
                 f"batch_capacity must be >= {MIN_BATCH_CAPACITY}, "
                 f"got {self.batch_capacity}"
+            )
+        if self.max_restarts < 1:
+            raise ValueError(f"max_restarts must be >= 1, got {self.max_restarts}")
+        if self.restart_backoff_seconds < 0:
+            raise ValueError(
+                "restart_backoff_seconds must be >= 0, "
+                f"got {self.restart_backoff_seconds}"
+            )
+        if self.restart_backoff_multiplier < 1:
+            raise ValueError(
+                "restart_backoff_multiplier must be >= 1, "
+                f"got {self.restart_backoff_multiplier}"
             )
 
 
@@ -352,6 +398,7 @@ def kernel_take(table: np.ndarray, slots: np.ndarray) -> np.ndarray:
 
 def _reader_worker(
     conn,
+    worker_index: int,
     spec: PlanArenaSpec,
     staging_name: str,
     segments: int,
@@ -359,6 +406,7 @@ def _reader_worker(
     kernel_name: str,
     scratch_keys: int,
     cache_bits: int,
+    fault_plan=None,
 ) -> None:
     """Message loop of one reader process.
 
@@ -368,7 +416,15 @@ def _reader_worker(
     ``("remapped", generation)`` after the old mapping is released);
     ``("stop",)`` → clean exit.  Any exception is reported as
     ``("error", message, traceback)`` and ends the process.
+
+    ``fault_plan`` is the parent's installed :class:`~repro.faults.FaultPlan`
+    (respawned workers receive :func:`~repro.faults.restart_plan` instead),
+    arming the ``reader_*`` injection sites with ``shard=worker_index``.
+    The unconditional install matters under the fork start method: a
+    respawned worker would otherwise *inherit* the parent's full plan and
+    re-fire the one-shot spec that killed its predecessor, forever.
     """
+    _faults.install(fault_plan)
     staging_shm = None
     state = None
     try:
@@ -417,6 +473,9 @@ def _reader_worker(
                         memo_live[store] = True
                 else:
                     out[...] = state.estimate(keys, sources)
+                if _faults._PLAN is not None:
+                    _faults.maybe_stall(_faults.SITE_READER_STALL_RING, worker_index)
+                    _faults.crash_point(_faults.SITE_READER_CRASH_BATCH, worker_index)
                 conn.send(("ok", seq, segment, count))
             elif tag == "remap":
                 new_state = _WorkerState(message[1], kernel_name, scratch_keys)
@@ -424,6 +483,8 @@ def _reader_worker(
                 state = new_state
                 if cache_bits > 0:
                     memo_live[:] = False
+                if _faults._PLAN is not None:
+                    _faults.crash_point(_faults.SITE_READER_CRASH_REMAP, worker_index)
                 conn.send(("remapped", new_state.spec.generation))
             elif tag == "stop":
                 break
@@ -506,56 +567,89 @@ class ReaderPool:
             )
         self.config = config
         self._arena: Optional[PlanArena] = PlanArena(plan)
-        self._old_arenas: List[PlanArena] = []
         self._readers: List[Optional[_Reader]] = []
         self._next_reader = 0
         self._sequence = 0
         self._closed = False
         self._alive: List[int] = []
         self._alive_dirty = True
-        scratch_keys = scratch_capacity(config.scratch_mb, plan.depth)
-        ctx = mp.get_context()
+        self._scratch_keys = scratch_capacity(config.scratch_mb, plan.depth)
+        self._ctx = mp.get_context()
+        # Serializes lifecycle mutations (respawn vs swap vs close) so a
+        # supervisor healing from another thread never races a generation
+        # swap into mapping a worker onto an arena being unlinked.
+        self._lock = threading.Lock()
         try:
             for index in range(config.readers):
-                staging = shared_memory.SharedMemory(
-                    create=True,
-                    size=config.max_pending * config.batch_capacity * 24,
-                )
-                stage_src, stage_tgt, stage_out = _staging_views(
-                    staging.buf, config.max_pending, config.batch_capacity
-                )
-                parent_conn, child_conn = ctx.Pipe()
-                process = ctx.Process(
-                    target=_reader_worker,
-                    args=(
-                        child_conn,
-                        self._arena.spec,
-                        staging.name,
-                        config.max_pending,
-                        config.batch_capacity,
-                        config.kernel,
-                        scratch_keys,
-                        config.cache_bits,
-                    ),
-                    daemon=True,
-                    name=f"repro-reader-{index}",
-                )
-                process.start()
-                child_conn.close()
                 self._readers.append(
-                    _Reader(
-                        process=process,
-                        conn=parent_conn,
-                        staging=staging,
-                        stage_src=stage_src,
-                        stage_tgt=stage_tgt,
-                        stage_out=stage_out,
-                        free_segments=list(range(config.max_pending)),
-                    )
+                    self._spawn_reader(index, _faults.current_plan())
                 )
         except BaseException:
             self.close()
             raise
+
+    def _spawn_reader(self, index: int, fault_plan) -> _Reader:
+        """Fresh staging ring + worker process mapped to the current arena."""
+        config = self.config
+        staging = shared_memory.SharedMemory(
+            create=True,
+            size=config.max_pending * config.batch_capacity * 24,
+        )
+        try:
+            stage_src, stage_tgt, stage_out = _staging_views(
+                staging.buf, config.max_pending, config.batch_capacity
+            )
+            parent_conn, child_conn = self._ctx.Pipe()
+            process = self._ctx.Process(
+                target=_reader_worker,
+                args=(
+                    child_conn,
+                    index,
+                    self._arena.spec,
+                    staging.name,
+                    config.max_pending,
+                    config.batch_capacity,
+                    config.kernel,
+                    self._scratch_keys,
+                    config.cache_bits,
+                    fault_plan,
+                ),
+                daemon=True,
+                name=f"repro-reader-{index}",
+            )
+            process.start()
+            child_conn.close()
+        except BaseException:
+            release_shm(staging)
+            raise
+        return _Reader(
+            process=process,
+            conn=parent_conn,
+            staging=staging,
+            stage_src=stage_src,
+            stage_tgt=stage_tgt,
+            stage_out=stage_out,
+            free_segments=list(range(config.max_pending)),
+        )
+
+    def respawn_worker(self, index: int) -> None:
+        """Bring a dead worker slot back against the *current* generation.
+
+        The respawned worker gets a fresh staging ring, maps the arena the
+        pool currently serves (not the one its predecessor died on) and
+        rejoins the round-robin on the next :meth:`_next`.  Restarted
+        workers receive :func:`repro.faults.restart_plan` — persistent
+        fault specs survive, one-shot specs do not — mirroring the shard
+        executors' restart semantics.
+        """
+        with self._lock:
+            self._require_open()
+            if not 0 <= index < len(self._readers):
+                raise ReaderPoolError(f"no reader slot {index}")
+            if self._readers[index] is not None:
+                raise ReaderPoolError(f"reader {index} is still in service")
+            self._readers[index] = self._spawn_reader(index, _faults.restart_plan())
+            self._alive_dirty = True
 
     # -- constructors ---------------------------------------------------- #
     @classmethod
@@ -571,6 +665,15 @@ class ReaderPool:
     @property
     def readers(self) -> int:
         return len(self._readers)
+
+    @property
+    def alive_count(self) -> int:
+        """Workers currently in the round-robin."""
+        return len(self._alive_readers())
+
+    def dead_workers(self) -> List[int]:
+        """Slot indices whose worker has died and not been respawned."""
+        return [i for i, reader in enumerate(self._readers) if reader is None]
 
     @property
     def generation(self) -> int:
@@ -835,22 +938,39 @@ class ReaderPool:
         In-flight batches finish on the old arena (worker pipes are FIFO);
         the old block is unlinked only after every surviving worker has
         remapped, so no reader ever loses its mapping mid-gather.
+
+        Worker death mid-swap (broken pipe on the remap send, death before
+        the remap ack) marks that worker dead and moves on: the survivors
+        still remap, the old arena is **always** released — a swap can
+        shrink the pool but never leak the superseded ``PlanArena`` segment
+        or leave survivors serving mixed generations.  A supervisor (or an
+        explicit :meth:`respawn_worker`) brings the dead slots back against
+        the new generation.
         """
         self._require_open()
-        if plan.generation == self._arena.generation:
-            return
-        new_arena = PlanArena(plan)
-        old_arena = self._arena
-        self._arena = new_arena
-        for index, reader in enumerate(self._readers):
-            if reader is None:
-                continue
-            self._send(index, ("remap", new_arena.spec))
-        for index, reader in enumerate(self._readers):
-            if reader is None:
-                continue
-            self._await_remapped(index, new_arena.generation)
-        old_arena.close()
+        with self._lock:
+            if plan.generation == self._arena.generation:
+                return
+            new_arena = PlanArena(plan)
+            old_arena = self._arena
+            self._arena = new_arena
+            try:
+                for index, reader in enumerate(self._readers):
+                    if reader is None:
+                        continue
+                    try:
+                        self._send(index, ("remap", new_arena.spec))
+                    except ReaderWorkerError:
+                        continue
+                for index, reader in enumerate(self._readers):
+                    if reader is None:
+                        continue
+                    try:
+                        self._await_remapped(index, new_arena.generation)
+                    except ReaderWorkerError:
+                        continue
+            finally:
+                old_arena.close()
 
     def _await_remapped(self, index: int, generation: int) -> None:
         while True:
@@ -874,21 +994,35 @@ class ReaderPool:
 
     # -- lifecycle ---------------------------------------------------------- #
     def close(self) -> None:
-        """Stop workers, release staging rings and unlink the arena (idempotent)."""
+        """Stop workers, release staging rings and unlink the arena (idempotent).
+
+        Teardown must not depend on any per-worker step succeeding: a
+        broken pipe, an already-reaped process or a teardown exception on
+        one worker never blocks releasing the others' staging rings or
+        unlinking the plan arena — close after partial worker death is
+        exactly as leak-free as close of a healthy pool.
+        """
         if self._closed:
             return
         self._closed = True
-        for index, reader in enumerate(self._readers):
-            if reader is None:
-                continue
-            try:
-                reader.conn.send(("stop",))
-            except (BrokenPipeError, OSError):
-                pass
-            self._teardown_reader(index, reader)
-        if self._arena is not None:
-            self._arena.close()
-            self._arena = None
+        with self._lock:
+            for index, reader in enumerate(self._readers):
+                if reader is None:
+                    continue
+                try:
+                    reader.conn.send(("stop",))
+                except (BrokenPipeError, OSError):
+                    pass
+                try:
+                    self._teardown_reader(index, reader)
+                except Exception:  # pragma: no cover - defensive
+                    self._readers[index] = None
+                    release_shm(reader.staging)
+            if self._arena is not None:
+                try:
+                    self._arena.close()
+                finally:
+                    self._arena = None
 
     def __enter__(self) -> "ReaderPool":
         return self
@@ -903,3 +1037,179 @@ class ReaderPool:
             f"kernel={self.config.kernel!r}, "
             f"generation={self._arena.generation if self._arena else 'closed'})"
         )
+
+
+# --------------------------------------------------------------------------- #
+# Supervision
+# --------------------------------------------------------------------------- #
+
+
+class ReaderSupervisor:
+    """Self-healing driver over a :class:`ReaderPool`.
+
+    Mirrors :class:`~repro.distributed.recovery.ShardSupervisor` for the
+    read plane: worker deaths surface as :class:`ReaderWorkerError` on the
+    dispatch path, the supervisor re-issues the failed (idempotent) batch
+    on the survivors immediately, and a background healer respawns the dead
+    slot against the pool's current arena generation — with exponential
+    backoff between respawns of the same slot and a per-slot restart budget
+    (:attr:`PlanConfig.max_restarts`).  A request only ever fails once the
+    whole pool is gone and the blocking heal cannot bring any slot back.
+
+    Pass ``background=False`` for deterministic tests: nothing heals until
+    :meth:`heal` is called explicitly.
+    """
+
+    def __init__(self, pool: ReaderPool, *, background: bool = True) -> None:
+        self.pool = pool
+        self.restarts = 0
+        self.exhausted: Set[int] = set()
+        self._attempts: Dict[int, int] = {}
+        self._not_before: Dict[int, float] = {}
+        self._lock = threading.Lock()
+        self._wake = threading.Event()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        if background:
+            self._thread = threading.Thread(
+                target=self._run, daemon=True, name="repro-reader-supervisor"
+            )
+            self._thread.start()
+
+    # -- healing --------------------------------------------------------- #
+    def _backoff(self, attempts: int) -> float:
+        """Respawn-rate floor after the ``attempts``-th respawn of a slot."""
+        config = self.pool.config
+        return config.restart_backoff_seconds * (
+            config.restart_backoff_multiplier ** max(attempts - 1, 0)
+        )
+
+    def heal(self) -> Optional[float]:
+        """Respawn every dead slot whose backoff window has elapsed.
+
+        Returns the seconds until the next slot becomes eligible (``None``
+        when nothing is left to heal — all slots alive or budget-exhausted).
+        """
+        with self._lock:
+            return self._heal_locked()
+
+    def _heal_locked(self) -> Optional[float]:
+        pool = self.pool
+        if pool.closed:
+            return None
+        soonest: Optional[float] = None
+        for index in pool.dead_workers():
+            if index in self.exhausted:
+                continue
+            attempts = self._attempts.get(index, 0)
+            if attempts >= pool.config.max_restarts:
+                self.exhausted.add(index)
+                if _obs._ENABLED:
+                    READER_RESTART_EVENTS["exhausted"].inc()
+                continue
+            now = time.monotonic()
+            not_before = self._not_before.get(index, 0.0)
+            if now < not_before:
+                wait = not_before - now
+                soonest = wait if soonest is None else min(soonest, wait)
+                continue
+            self._attempts[index] = attempts + 1
+            self._not_before[index] = now + self._backoff(attempts + 1)
+            begin = time.monotonic()
+            try:
+                pool.respawn_worker(index)
+            except ReaderPoolError:
+                if pool.closed:
+                    return None
+                # Spawn failed: the advanced backoff window rate-limits the
+                # next attempt; the budget above bounds the total.
+                wait = self._not_before[index] - time.monotonic()
+                if wait > 0:
+                    soonest = wait if soonest is None else min(soonest, wait)
+                continue
+            self.restarts += 1
+            if _obs._ENABLED:
+                READER_RESTART_SECONDS.observe(time.monotonic() - begin)
+                READER_RESTART_EVENTS["respawned"].inc()
+        READER_DEAD.set(float(len(pool.dead_workers()) if not pool.closed else 0))
+        return soonest
+
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                wait = self.heal()
+            except Exception:  # pragma: no cover - healer must never die
+                wait = 0.25
+            self._wake.wait(timeout=wait)
+            self._wake.clear()
+
+    def notify(self) -> None:
+        """Wake the background healer (a death was just observed)."""
+        self._wake.set()
+
+    def _heal_blocking(self) -> bool:
+        """Heal through backoff windows; True once any worker is serving.
+
+        Only used when the pool is empty — there is nothing to serve from,
+        so sleeping out the backoff on the calling thread costs no request
+        anything it was not already paying.
+        """
+        while True:
+            wait = self.heal()
+            if self.pool.closed:
+                return False
+            if self.pool.alive_count > 0:
+                return True
+            if wait is None:
+                return False
+            time.sleep(wait)
+
+    # -- supervised dispatch --------------------------------------------- #
+    def call(self, fn: Callable[..., "_T"], *args, **kwargs) -> "_T":
+        """Run one idempotent pool operation to completion or pool death.
+
+        ``ReaderWorkerError`` re-issues the operation on the survivors (no
+        partial results ever escaped — batch results only surface on a
+        complete ack) and wakes the healer; an empty pool triggers a
+        blocking heal.  The operation itself must be safe to re-issue,
+        which every read path is.
+        """
+        while True:
+            try:
+                return fn(*args, **kwargs)
+            except ReaderWorkerError:
+                if self.pool.closed:
+                    raise
+                self.notify()
+                if self._thread is None:
+                    self.heal()
+                if self.pool.alive_count == 0 and not self._heal_blocking():
+                    raise
+            except ReaderPoolError:
+                if self.pool.closed:
+                    raise
+                if not self._heal_blocking():
+                    raise
+
+    # -- lifecycle / telemetry ------------------------------------------- #
+    def close(self) -> None:
+        """Stop the background healer (the pool's lifecycle is the owner's)."""
+        self._stop.set()
+        self._wake.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def telemetry(self) -> dict:
+        """Supervisor state for the serving health surface."""
+        pool = self.pool
+        dead = [] if pool.closed else pool.dead_workers()
+        return {
+            "width": pool.readers,
+            "alive": 0 if pool.closed else pool.alive_count,
+            "dead_workers": dead,
+            "restarts": self.restarts,
+            "exhausted": sorted(self.exhausted),
+            "degraded": bool(dead),
+            "self_healed": not dead and not pool.closed,
+        }

@@ -26,6 +26,7 @@ Quick start::
 from repro.serving.client import (
     DeadlineExceeded,
     RetryLater,
+    RetryPolicy,
     ServerClosed,
     ServingClient,
     ServingError,
@@ -54,6 +55,7 @@ __all__ = [
     "DeadlineExceeded",
     "DeadlineExceededError",
     "RetryLater",
+    "RetryPolicy",
     "ServerClosed",
     "ServerHandle",
     "ServingClient",

@@ -147,6 +147,7 @@ class CoalescingQueue:
         self.submitted = 0
         self.rejected = 0
         self.expired = 0
+        self.cancelled = 0
         self.batches = 0
         self.coalesced_keys = 0
         self.max_depth = 0
@@ -188,6 +189,7 @@ class CoalescingQueue:
             "submitted": self.submitted,
             "rejected": self.rejected,
             "expired": self.expired,
+            "cancelled": self.cancelled,
             "batches": self.batches,
             "coalesced_keys": self.coalesced_keys,
             "max_depth": self.max_depth,
@@ -261,11 +263,21 @@ class CoalescingQueue:
 
         Always takes at least one live entry, so a single request larger
         than ``max_batch`` still gets answered (as its own batch).
+
+        Entries whose future was cancelled while queued — the requester's
+        connection dropped before this drain — are counted and skipped, so
+        a vanished client neither occupies gather capacity nor has an
+        answer pushed into its closed write queue.
         """
         batch: List[_Pending] = []
         taken = 0
         while self._pending:
             entry = self._pending[0]
+            if entry.future.done():
+                self._pending.pop(0)
+                self._pending_keys -= len(entry.keys)
+                self.cancelled += 1
+                continue
             if entry.deadline is not None and entry.deadline < now:
                 self._pending.pop(0)
                 self._pending_keys -= len(entry.keys)
@@ -332,19 +344,29 @@ class CoalescingQueue:
                 self._inflight.release()
         self._demux(batch, counts, values, generation)
 
-    @staticmethod
-    def _fan_out_error(batch: List[_Pending], exc: BaseException) -> None:
+    def _fan_out_error(self, batch: List[_Pending], exc: BaseException) -> None:
         for entry in batch:
-            if not entry.future.done():
+            if entry.future.cancelled():
+                self.cancelled += 1
+            elif not entry.future.done():
                 entry.future.set_exception(exc)
 
-    @staticmethod
     def _demux(
+        self,
         batch: List[_Pending],
         counts: List[int],
         values: Sequence[float],
         generation: int,
     ) -> None:
+        """Resolve each request's slice; cancelled requesters are counted.
+
+        A connection that dropped *after* its batch was dispatched still
+        resolves here — its future is cancelled, so the result is discarded
+        into the ``cancelled`` stat instead of raising into the write path
+        of a closed connection.
+        """
         for entry, slice_values in zip(batch, demux_by_counts(values, counts)):
-            if not entry.future.done():
+            if entry.future.cancelled():
+                self.cancelled += 1
+            elif not entry.future.done():
                 entry.future.set_result((slice_values, generation))

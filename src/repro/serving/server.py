@@ -39,11 +39,12 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, fields
 from typing import TYPE_CHECKING, Awaitable, Dict, List, Optional, Set, Tuple, Union
 
+from repro import faults as _faults
 from repro.graph.batch import EdgeBatch
 from repro.graph.edge import EdgeKey, StreamEdge
 from repro.observability import metrics as _obs
 from repro.queries.edge_query import EdgeQuery
-from repro.queries.parallel import ReaderPool
+from repro.queries.parallel import ReaderPool, ReaderSupervisor
 from repro.queries.plan import CompiledQueryPlan, HotEdgeCache
 from repro.queries.subgraph_query import SubgraphQuery
 from repro.serving import wire
@@ -123,12 +124,21 @@ class ServingConfig:
 class _Connection:
     """Per-connection state: the bounded write queue and its writer task."""
 
-    __slots__ = ("writer", "out_queue", "writer_task", "inflight", "closed", "peer")
+    __slots__ = (
+        "writer",
+        "out_queue",
+        "writer_task",
+        "tasks",
+        "inflight",
+        "closed",
+        "peer",
+    )
 
     def __init__(self, writer: asyncio.StreamWriter, max_write_queue: int) -> None:
         self.writer = writer
         self.out_queue: "asyncio.Queue[Optional[dict]]" = asyncio.Queue(max_write_queue)
         self.writer_task: Optional["asyncio.Task[None]"] = None
+        self.tasks: "Set[asyncio.Task]" = set()
         self.inflight = 0
         self.closed = False
         peername = writer.get_extra_info("peername")
@@ -164,6 +174,7 @@ class SketchServer:
         self._pool: Optional[ReaderPool] = None
         self._pool_cache: Optional[HotEdgeCache] = None
         self._pool_executor: Optional[ThreadPoolExecutor] = None
+        self._supervisor: Optional[ReaderSupervisor] = None
         inflight = self._plan_config.max_pending if self._plan_config else 1
         self._coalescer = CoalescingQueue(
             self._answer_batch,
@@ -200,6 +211,11 @@ class SketchServer:
             self._pool_executor = ThreadPoolExecutor(
                 max_workers=1, thread_name_prefix="repro-pool-dispatch"
             )
+            if self._plan_config.supervised:
+                # The background healer respawns dead workers against the
+                # current arena generation; the dispatch thread re-issues
+                # failed batches on the survivors meanwhile.
+                self._supervisor = ReaderSupervisor(self._pool)
         self._coalescer.start()
         self._server = await asyncio.start_server(
             self._handle_connection, self._host, self._port
@@ -242,6 +258,8 @@ class SketchServer:
             # queued; shutdown here just joins the (idle) dispatch thread.
             self._pool_executor.shutdown(wait=True)
             self._pool_executor = None
+        if self._supervisor is not None:
+            self._supervisor.close()
         if self._pool is not None:
             self._pool.close()
             self._pool = None
@@ -267,7 +285,51 @@ class SketchServer:
                 "generation": self._pool.generation,
                 "kernel": self._pool.config.kernel,
             }
+            if self._supervisor is not None:
+                stats["readers"]["supervisor"] = self._supervisor.telemetry()
         return stats
+
+    def health(self) -> dict:
+        """The ``health`` wire op's payload (also behind ``repro serve --health``).
+
+        ``state`` walks starting → serving → draining; ``degraded`` flags a
+        server that answers but with reduced redundancy — dead sketch shards
+        (PR-7 degraded serving) or dead reader-pool workers awaiting respawn.
+        Readiness probes should treat only ``state == "serving"`` with
+        ``degraded == false`` as fully healthy, and ``serving`` + degraded
+        as ready-but-alarming.
+        """
+        estimator = self._engine.estimator
+        if self._draining:
+            state = wire.STATE_DRAINING
+        elif self._server is not None:
+            state = wire.STATE_SERVING
+        else:
+            state = wire.STATE_STARTING
+        dead_shards = getattr(estimator, "dead_shards", None)
+        shards_degraded = bool(getattr(estimator, "degraded", False))
+        payload: dict = {
+            "state": state,
+            "generation": int(getattr(estimator, "ingest_generation", 0)),
+            "connections": len(self._connections),
+            "degraded": shards_degraded,
+        }
+        if dead_shards is not None:
+            payload["dead_shards"] = sorted(dead_shards)
+        if self._supervisor is not None:
+            readers = self._supervisor.telemetry()
+            payload["readers"] = readers
+            if not self._draining:
+                payload["degraded"] = payload["degraded"] or readers["degraded"]
+        elif self._pool is not None:
+            alive = self._pool.alive_count
+            payload["readers"] = {
+                "width": self._pool.readers,
+                "alive": alive,
+                "degraded": alive < self._pool.readers,
+            }
+            payload["degraded"] = payload["degraded"] or alive < self._pool.readers
+        return payload
 
     # ------------------------------------------------------------------ #
     # Backend access (event-loop thread only)
@@ -308,7 +370,21 @@ class SketchServer:
     def _pool_answer(
         self, keys: List[EdgeKey], plan: Optional[CompiledQueryPlan]
     ) -> Tuple[List[float], int]:
-        """Dispatch-thread half of the pool path (owns all pipe traffic)."""
+        """Dispatch-thread half of the pool path (owns all pipe traffic).
+
+        Under supervision the whole operation re-issues on worker death:
+        the swap is generation-idempotent and the gather is a pure read, so
+        a retried batch answers bit-identically on the survivors while the
+        background healer respawns the dead slot.  Only a fully-dead,
+        unhealable pool surfaces an error.
+        """
+        if self._supervisor is not None:
+            return self._supervisor.call(self._pool_answer_once, keys, plan)
+        return self._pool_answer_once(keys, plan)
+
+    def _pool_answer_once(
+        self, keys: List[EdgeKey], plan: Optional[CompiledQueryPlan]
+    ) -> Tuple[List[float], int]:
         pool = self._pool
         if pool is None:  # pragma: no cover - shutdown race guard
             raise AdmissionError("server is draining")
@@ -370,6 +446,12 @@ class SketchServer:
         if _obs._ENABLED:
             _CONNECTIONS.set(float(len(self._connections)))
         connection.closed = True
+        # The connection is gone: answering its in-flight requests would
+        # push frames into a closed write queue.  Cancelling the tasks
+        # cancels their coalescer futures, which the queue counts into its
+        # ``cancelled`` stat (at drain or demux time) instead of answering.
+        for task in tuple(connection.tasks):
+            task.cancel()
         if connection.writer_task is not None:
             if flush:
                 try:
@@ -398,7 +480,25 @@ class SketchServer:
             if payload is None:
                 return
             try:
-                connection.writer.write(wire.encode_frame(payload))
+                data = wire.encode_frame(payload)
+                if _faults._PLAN is not None:
+                    # Injected wire faults: a stalled response (client-side
+                    # deadline/retry territory) or a frame torn mid-payload
+                    # followed by an abort (client sees a short read).
+                    delay = _faults.maybe_stall(
+                        _faults.SITE_SERVING_STALL_CONNECTION
+                    )
+                    if delay > 0.0:
+                        await asyncio.sleep(delay)
+                    data, torn = _faults.tear_frame(data)
+                    if torn:
+                        connection.writer.write(data)
+                        await connection.writer.drain()
+                        connection.closed = True
+                        self.connections_dropped += 1
+                        connection.writer.close()
+                        return
+                connection.writer.write(data)
                 await connection.writer.drain()
             except (ConnectionError, OSError):
                 connection.closed = True
@@ -413,6 +513,24 @@ class SketchServer:
         try:
             connection.writer.close()
         except (ConnectionError, OSError):
+            pass
+
+    def _abort_connection(self, connection: _Connection) -> None:
+        """Sever a connection's transport abruptly (fault-injection paths).
+
+        Mimics the peer vanishing mid-flight: the read loop wakes with a
+        reset, :meth:`_close_connection` cancels the connection's in-flight
+        request tasks, and the coalescer counts their futures as cancelled.
+        """
+        connection.closed = True
+        self.connections_dropped += 1
+        transport = getattr(connection.writer, "transport", None)
+        try:
+            if transport is not None:
+                transport.abort()
+            else:  # pragma: no cover - transport always set on TCP
+                connection.writer.close()
+        except (ConnectionError, OSError):  # pragma: no cover - defensive
             pass
 
     def _enqueue(self, connection: _Connection, payload: dict) -> None:
@@ -452,6 +570,13 @@ class SketchServer:
         if op == wire.OP_PING:
             self._respond(connection, request_id, wire.STATUS_OK, began, pong=True)
             return
+        if op == wire.OP_HEALTH:
+            # Health answers in every state — a draining server reports
+            # ``draining`` rather than shedding the probe.
+            self._respond(
+                connection, request_id, wire.STATUS_OK, began, **self.health()
+            )
+            return
         if op in (wire.OP_QUERY_EDGES, wire.OP_QUERY_SUBGRAPH):
             if self._draining:
                 self._respond(connection, request_id, wire.STATUS_SHUTTING_DOWN, began)
@@ -472,6 +597,8 @@ class SketchServer:
             )
             self._request_tasks.add(task)
             task.add_done_callback(self._request_tasks.discard)
+            connection.tasks.add(task)
+            task.add_done_callback(connection.tasks.discard)
             return
         if op == wire.OP_INGEST:
             self._serve_ingest(connection, request_id, frame, began)
@@ -520,7 +647,16 @@ class SketchServer:
                     estimates=[estimate.to_dict() for estimate in estimates],
                 )
                 return
-            values, generation = await self._coalescer.submit(edges, deadline)
+            future = self._coalescer.submit(edges, deadline)
+            if _faults._PLAN is not None and _faults.should_fire(
+                _faults.SITE_SERVING_DROP_DRAIN
+            ):
+                # The requester's connection vanishes after admission but
+                # before demux — the cancel-on-disconnect path must cancel
+                # this very request instead of answering into a closed
+                # write queue.
+                self._abort_connection(connection)
+            values, generation = await future
             payload: dict = {"generation": generation}
             if op == wire.OP_QUERY_SUBGRAPH:
                 query = SubgraphQuery.from_edges(
@@ -584,6 +720,15 @@ class SketchServer:
                 edges.append(StreamEdge(source, target, timestamp, frequency))
             ingested = self._engine.ingest_batch(EdgeBatch.from_edges(edges))
             generation = int(getattr(self._engine.estimator, "ingest_generation", 0))
+            if _faults._PLAN is not None and _faults.should_fire(
+                _faults.SITE_SERVING_INGEST_CRASH
+            ):
+                # The non-idempotent retry window: the engine already
+                # mutated (generation bumped) but the acknowledgement never
+                # reaches the client.  A client that retried here would
+                # double-count the batch — the retry discipline must not.
+                self._abort_connection(connection)
+                return
             self._respond(
                 connection,
                 request_id,

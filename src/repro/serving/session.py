@@ -19,6 +19,7 @@ from typing import List, Optional, Sequence
 
 from repro.graph.edge import EdgeKey
 from repro.serving.client import (
+    RetryPolicy,
     ServingClient,
     SyncServingClient,
     WireResult,
@@ -75,6 +76,12 @@ class Session(ServingClient):
             "_reader_task",
             "hello",
             "_closed",
+            "_user_closed",
+            "_retry",
+            "_rng",
+            "_address",
+            "retries",
+            "reconnects",
         ):
             setattr(session, name, getattr(client, name))
         session._watermark = _Watermark()
@@ -91,6 +98,16 @@ class Session(ServingClient):
     def _observe(self, result: WireResult) -> WireResult:
         self._watermark.observe(result.generation)
         return result
+
+    async def _reopen(self) -> None:
+        """Reconnect preserving the watermark: monotonic reads survive
+        failover.  The fresh hello's generation is checked against the old
+        watermark, so reconnecting to a *stale* server raises
+        :class:`ConsistencyError` instead of silently serving old data."""
+        await super()._reopen()
+        initial = self.hello.get("generation")
+        if initial is not None:
+            self._watermark.observe(int(initial))
 
     async def query_edges(
         self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None
@@ -113,18 +130,32 @@ class Session(ServingClient):
         return ingested, generation
 
 
-async def open_session(host: str, port: int) -> Session:
+async def open_session(
+    host: str, port: int, retry: Optional[RetryPolicy] = None
+) -> Session:
     """Connect and wrap the connection in a monotonic-reads session."""
     from repro.serving.client import connect
 
-    return Session.adopt(await connect(host, port))
+    return Session.adopt(await connect(host, port, retry=retry))
 
 
 class SyncSession:
-    """Blocking session: a :class:`SyncServingClient` plus the watermark."""
+    """Blocking session: a :class:`SyncServingClient` plus the watermark.
 
-    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
-        self._client = SyncServingClient(host, port, timeout)
+    The watermark lives on the session, not the connection — when the
+    underlying client reconnects under its :class:`RetryPolicy`, every
+    post-reconnect response is still checked against the generations this
+    session already observed, so monotonic reads survive failover.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 30.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
+        self._client = SyncServingClient(host, port, timeout, retry=retry)
         self._watermark = _Watermark()
         initial = self._client.hello.get("generation")
         if initial is not None:
@@ -137,6 +168,14 @@ class SyncSession:
     @property
     def generation_observed(self) -> int:
         return self._watermark.generation_observed
+
+    @property
+    def retries(self) -> int:
+        return self._client.retries
+
+    @property
+    def reconnects(self) -> int:
+        return self._client.reconnects
 
     def query_edges(
         self, edges: Sequence[EdgeKey], deadline_ms: Optional[float] = None

@@ -47,9 +47,15 @@ _HEADER = struct.Struct(">I")
 # -- operations -------------------------------------------------------------
 OP_HELLO = "hello"
 OP_PING = "ping"
+OP_HEALTH = "health"
 OP_QUERY_EDGES = "query_edges"
 OP_QUERY_SUBGRAPH = "query_subgraph"
 OP_INGEST = "ingest"
+
+# -- health states (the ``health`` op's ``state`` field) --------------------
+STATE_STARTING = "starting"
+STATE_SERVING = "serving"
+STATE_DRAINING = "draining"
 
 # -- response statuses ------------------------------------------------------
 STATUS_OK = "ok"

@@ -25,6 +25,7 @@ import os
 import numpy as np
 import pytest
 
+from repro import faults
 from repro.core.config import GSketchConfig
 from repro.core.gsketch import GSketch
 from repro.datasets.zipf import zipf_stream
@@ -33,6 +34,7 @@ from repro.queries.parallel import (
     PlanConfig,
     ReaderPool,
     ReaderPoolError,
+    ReaderSupervisor,
     ReaderWorkerError,
 )
 from repro.queries.plan import HotEdgeCache
@@ -193,6 +195,18 @@ class TestWorkerDeath:
         pool.close()
         assert _shm_entries() <= before
 
+    def test_close_after_total_death_releases_everything(self, workload):
+        """Teardown with every pipe broken must still unlink all blocks."""
+        estimator = _build_estimator(num_edges=3_000, seed=13)
+        before = _shm_entries()
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=2))
+        for reader in pool._readers:
+            reader.process.kill()
+            reader.process.join(timeout=10)
+        pool.close()
+        pool.close()  # idempotent even after a fully-dead teardown
+        assert _shm_entries() <= before
+
 
 class TestHotSwap:
     def test_swap_mid_stream_tracks_generation(self, workload):
@@ -241,6 +255,24 @@ class TestHotSwap:
             pool.close()
         assert _shm_entries() <= before
 
+    def test_swap_with_dead_worker_survivors_remap_no_leak(self, workload):
+        """Worker death mid-swap: survivors remap, the old arena is freed."""
+        estimator = _build_estimator(num_edges=3_000, seed=19)
+        before = _shm_entries()
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=2))
+        try:
+            pool._readers[0].process.kill()
+            pool._readers[0].process.join(timeout=10)
+            estimator.process(zipf_stream(1_000, population=256, seed=31))
+            assert pool.swap_from(estimator) is True
+            assert pool.generation == estimator.ingest_generation
+            oracle = np.asarray(estimator.query_edges(list(workload[:30])))
+            got = pool.query_edges(list(workload[:30]), split=False)
+            np.testing.assert_array_equal(got, oracle)
+        finally:
+            pool.close()
+        assert _shm_entries() <= before
+
 
 class TestLifecycle:
     def test_close_is_idempotent_and_typed_after(self, estimator, workload):
@@ -271,3 +303,204 @@ class TestLifecycle:
             PlanConfig(scratch_mb=0)
         with pytest.raises(ValueError):
             PlanConfig(batch_capacity=64)
+
+    def test_supervision_config_validation(self):
+        with pytest.raises(ValueError, match="max_restarts"):
+            PlanConfig(max_restarts=0)
+        with pytest.raises(ValueError, match="restart_backoff_seconds"):
+            PlanConfig(restart_backoff_seconds=-0.1)
+        with pytest.raises(ValueError, match="restart_backoff_multiplier"):
+            PlanConfig(restart_backoff_multiplier=0.5)
+        config = PlanConfig()  # supervision on by default, sane budgets
+        assert config.supervised and config.max_restarts >= 1
+
+
+# ---------------------------------------------------------------------- #
+# Supervised self-healing
+# ---------------------------------------------------------------------- #
+class TestSupervisor:
+    """The tentpole: dead readers respawn, dispatch never loses a batch."""
+
+    @staticmethod
+    def _kill(pool, index):
+        pool._readers[index].process.kill()
+        pool._readers[index].process.join(timeout=10)
+
+    def test_supervised_call_heals_and_stays_bit_exact(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=31)
+        oracle = np.asarray(estimator.query_edges(list(workload[:40])))
+        pool = ReaderPool.from_estimator(
+            estimator, PlanConfig(readers=2, restart_backoff_seconds=0.0)
+        )
+        supervisor = ReaderSupervisor(pool, background=False)
+        try:
+            self._kill(pool, 0)
+            # The dead pipe surfaces mid-dispatch; the supervisor re-issues
+            # the batch on the survivor and respawns the slot inline
+            # (background=False), so the caller never sees the death.
+            got = supervisor.call(pool.query_edges, list(workload[:40]), split=False)
+            np.testing.assert_array_equal(got, oracle)
+            assert supervisor.restarts == 1
+            telemetry = supervisor.telemetry()
+            assert telemetry["alive"] == 2
+            assert telemetry["self_healed"] and not telemetry["degraded"]
+            # The respawned worker serves the same generation, bit-exact.
+            got = supervisor.call(pool.query_edges, list(workload[:40]))
+            np.testing.assert_array_equal(got, oracle)
+        finally:
+            supervisor.close()
+            pool.close()
+
+    def test_whole_pool_death_heals_blocking(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=31)
+        oracle = np.asarray(estimator.query_edges(list(workload[:30])))
+        pool = ReaderPool.from_estimator(
+            estimator, PlanConfig(readers=2, restart_backoff_seconds=0.0)
+        )
+        supervisor = ReaderSupervisor(pool, background=False)
+        try:
+            self._kill(pool, 0)
+            self._kill(pool, 1)
+            # Single-batch dispatches round-robin over both slots: a killed
+            # worker is only *detected* when a dispatch hits its pipe, so a
+            # few supervised calls flush both zombies through heal.
+            for _ in range(6):
+                got = supervisor.call(
+                    pool.query_edges, list(workload[:30]), split=False
+                )
+                np.testing.assert_array_equal(got, oracle)
+            assert supervisor.restarts == 2
+            assert pool.alive_count == 2 and not pool.dead_workers()
+        finally:
+            supervisor.close()
+            pool.close()
+
+    def test_restart_budget_exhausts_and_pool_degrades(self, workload):
+        estimator = _build_estimator(num_edges=3_000, seed=31)
+        oracle = np.asarray(estimator.query_edges(list(workload[:30])))
+        pool = ReaderPool.from_estimator(
+            estimator,
+            PlanConfig(readers=2, max_restarts=1, restart_backoff_seconds=0.0),
+        )
+        supervisor = ReaderSupervisor(pool, background=False)
+        try:
+            self._kill(pool, 0)
+            for _ in range(4):  # flush the zombie slot through heal
+                got = supervisor.call(
+                    pool.query_edges, list(workload[:30]), split=False
+                )
+                np.testing.assert_array_equal(got, oracle)
+                if supervisor.restarts:
+                    break
+            assert supervisor.restarts == 1
+            # The slot dies again: the budget (max_restarts=1) is spent, so
+            # the supervisor marks it exhausted instead of crash-looping.
+            self._kill(pool, 0)
+            for _ in range(6):
+                got = supervisor.call(
+                    pool.query_edges, list(workload[:30]), split=False
+                )
+                np.testing.assert_array_equal(got, oracle)
+                if 0 in supervisor.exhausted:
+                    break
+            assert supervisor.heal() is None  # nothing left it may respawn
+            telemetry = supervisor.telemetry()
+            assert telemetry["exhausted"] == [0]
+            assert telemetry["degraded"] and telemetry["alive"] == 1
+            # Degraded is still serving: the survivor answers, bit-exact.
+            got = supervisor.call(pool.query_edges, list(workload[:30]), split=False)
+            np.testing.assert_array_equal(got, oracle)
+        finally:
+            supervisor.close()
+            pool.close()
+
+    def test_respawned_worker_sheds_one_shot_faults(self, workload):
+        """The fork-inheritance regression: a restarted reader must not
+        re-fire the one-shot crash spec that killed its predecessor."""
+        estimator = _build_estimator(num_edges=3_000, seed=31)
+        oracle = np.asarray(estimator.query_edges(list(workload[:30])))
+        faults.install(
+            faults.FaultPlan(
+                [faults.FaultSpec(site=faults.SITE_READER_CRASH_BATCH, at_hit=1)]
+            )
+        )
+        try:
+            pool = ReaderPool.from_estimator(
+                estimator, PlanConfig(readers=1, restart_backoff_seconds=0.0)
+            )
+            supervisor = ReaderSupervisor(pool, background=False)
+            try:
+                # The worker inherits the armed plan at spawn and crashes on
+                # its first batch; the respawn ships restart_plan() — one-shot
+                # specs dropped — so the healed worker answers.
+                got = supervisor.call(
+                    pool.query_edges, list(workload[:30]), split=False
+                )
+                np.testing.assert_array_equal(got, oracle)
+                assert supervisor.restarts >= 1
+                assert supervisor.telemetry()["self_healed"]
+            finally:
+                supervisor.close()
+                pool.close()
+        finally:
+            faults.clear()
+
+    def test_persistent_fault_consumes_budget_then_survivor_serves(self, workload):
+        """A slot that crashes on every restart exhausts its budget; the
+        pinned-shard fault never touches the survivor."""
+        estimator = _build_estimator(num_edges=3_000, seed=31)
+        oracle = np.asarray(estimator.query_edges(list(workload[:30])))
+        faults.install(
+            faults.FaultPlan(
+                [
+                    faults.FaultSpec(
+                        site=faults.SITE_READER_CRASH_BATCH,
+                        at_hit=1,
+                        shard=0,
+                        persistent=True,
+                    )
+                ]
+            )
+        )
+        try:
+            pool = ReaderPool.from_estimator(
+                estimator,
+                PlanConfig(readers=2, max_restarts=2, restart_backoff_seconds=0.0),
+            )
+            supervisor = ReaderSupervisor(pool, background=False)
+            try:
+                for _ in range(12):
+                    got = supervisor.call(
+                        pool.query_edges, list(workload[:30]), split=False
+                    )
+                    np.testing.assert_array_equal(got, oracle)
+                    if 0 in supervisor.exhausted:
+                        break
+                telemetry = supervisor.telemetry()
+                assert telemetry["exhausted"] == [0]
+                assert telemetry["alive"] == 1 and telemetry["degraded"]
+            finally:
+                supervisor.close()
+                pool.close()
+        finally:
+            faults.clear()
+
+    def test_respawn_worker_guards(self, estimator):
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=1))
+        try:
+            with pytest.raises(ReaderPoolError, match="still in service"):
+                pool.respawn_worker(0)
+            with pytest.raises(ReaderPoolError, match="no reader slot"):
+                pool.respawn_worker(5)
+        finally:
+            pool.close()
+        with pytest.raises(ReaderPoolError):
+            pool.respawn_worker(0)
+
+    def test_supervisor_close_is_idempotent(self, estimator):
+        pool = ReaderPool.from_estimator(estimator, PlanConfig(readers=1))
+        supervisor = ReaderSupervisor(pool)  # background healer thread
+        supervisor.close()
+        supervisor.close()
+        pool.close()
+        assert supervisor.telemetry()["alive"] == 0
